@@ -1,0 +1,109 @@
+"""Extension bench — communication costs of the paper's protocols.
+
+The paper's introduction motivates acceleration with HE's data-size
+explosion ("×10² to ×10⁵").  This bench measures, on real protocol
+transcripts:
+
+* the ciphertext expansion factor of CHAM's parameters;
+* HeteroLR's per-iteration traffic under Paillier vs B/FV — the second,
+  quieter reason the paper replaced Paillier: one RLWE ciphertext
+  carries 4096 values where Paillier ships one ciphertext *per value*;
+* Delphi's offline/online byte split (the online phase ships only
+  cleartext shares).
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.apps.datasets import make_digit_images
+from repro.apps.delphi import DelphiInference
+from repro.apps.inference import TinyModel
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+from repro.he.serialization import rlwe_wire_bytes
+from repro.math.primes import CHAM_P, CHAM_Q0, CHAM_Q1
+
+RING_N = 4096
+#: Paillier (1024-bit keys): one 2048-bit ciphertext per value
+PAILLIER_CT_BYTES = 256
+#: cleartext field element at the 40-bit plaintext modulus
+CLEAR_BYTES = 5
+
+
+def test_ciphertext_expansion():
+    normal = rlwe_wire_bytes(RING_N, (CHAM_Q0, CHAM_Q1))
+    augmented = rlwe_wire_bytes(RING_N, (CHAM_Q0, CHAM_Q1, CHAM_P))
+    clear = RING_N * CLEAR_BYTES
+    pail = RING_N * PAILLIER_CT_BYTES
+    rows = [
+        ("cleartext (4096 x 40b)", f"{clear / 1024:.1f} KiB", "1.0x"),
+        ("BFV normal ct", f"{normal / 1024:.1f} KiB", f"{normal / clear:.1f}x"),
+        ("BFV augmented ct", f"{augmented / 1024:.1f} KiB", f"{augmented / clear:.1f}x"),
+        ("Paillier (4096 cts)", f"{pail / 1024:.0f} KiB", f"{pail / clear:.0f}x"),
+    ]
+    print_table(
+        "Ciphertext expansion at production parameters",
+        ["representation", "bytes", "vs cleartext"],
+        rows,
+    )
+    assert 3 < normal / clear < 6  # RLWE amortizes beautifully
+    assert pail / clear > 40  # Paillier's per-value blow-up
+
+
+def test_heterolr_traffic():
+    """Per-iteration bytes exchanged, Paillier vs B/FV (8192 samples)."""
+    samples, features = 8192, 4096
+    # Paillier: one ct per residual value + one per gradient entry
+    pail = (samples + features) * PAILLIER_CT_BYTES
+    # BFV: ceil(samples/N) augmented cts up + ceil(features/N) packed down
+    up = -(-samples // RING_N) * rlwe_wire_bytes(
+        RING_N, (CHAM_Q0, CHAM_Q1, CHAM_P)
+    )
+    down = -(-features // RING_N) * rlwe_wire_bytes(RING_N, (CHAM_Q0, CHAM_Q1))
+    bfv = up + down
+    rows = [
+        ("Paillier (FATE)", f"{pail / 2**20:.1f} MiB"),
+        ("B/FV + PACKLWES", f"{bfv / 2**20:.2f} MiB"),
+        ("reduction", f"{pail / bfv:.0f}x"),
+    ]
+    print_table(
+        f"HeteroLR traffic per iteration ({samples}x{features})",
+        ["backend", "bytes"],
+        rows,
+    )
+    assert pail / bfv > 8  # packing pays for itself on the wire too
+
+
+def test_delphi_offline_online_split():
+    """Delphi's split measured on a real transcript (toy ring)."""
+    scheme = BfvScheme(toy_params(n=256, plain_bits=40), seed=71, max_pack=4)
+    model = TinyModel.random(12, classes=2, seed=72)
+    proto = DelphiInference(scheme, model, 12, seed=73)
+    proto.offline()
+    imgs, _ = make_digit_images(1, 12, seed=74)
+    got = proto.online(imgs[0])
+    assert np.array_equal(got, model.predict_clear(imgs[0]))
+    summary = proto.communication_summary()
+    rows = [
+        ("offline (HE ciphertexts)", f"{summary['offline_bytes']:,} B"),
+        ("online (cleartext shares)", f"{summary['online_bytes']:,} B"),
+        ("rounds (total)", summary["rounds"]),
+    ]
+    print_table("Delphi inference traffic (toy ring)", ["phase", "amount"], rows)
+    assert summary["online_bytes"] < summary["offline_bytes"]
+
+
+@pytest.mark.benchmark(group="communication")
+def test_perf_transcript_accounting(benchmark):
+    from repro.apps.protocol import Channel, Party
+
+    def run():
+        ch = Channel()
+        a, b = Party("a", ch), Party("b", ch)
+        for i in range(200):
+            a.send(b, "x", b"\0" * 64)
+            b.recv()
+        return ch.total_bytes
+
+    assert benchmark(run) == 200 * 64

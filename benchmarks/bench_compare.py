@@ -1,0 +1,50 @@
+"""Extension bench — the §I accelerator landscape as a table.
+
+Regenerates the related-work comparison the introduction sketches (FPGA
+operator accelerators, large ASICs, GPUs) with CHAM's position: the only
+whole-kernel, multi-scheme design, at FPGA cost.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.hw.compare import KNOWN_ACCELERATORS, cham_entry, comparison_rows
+
+
+def test_landscape_table():
+    print_table(
+        "§I landscape: published HE accelerators",
+        ["design", "venue", "tech", "clock", "NTT ATP", "mm^2", "scope", "multi-scheme"],
+        comparison_rows(),
+    )
+    cham = cham_entry()
+    assert cham.scope == "kernel"
+    assert cham.multi_scheme
+
+
+def test_asic_area_criticism():
+    """'The chip area of these ASICs ... is extremely large'."""
+    asic_areas = [
+        a.area_mm2
+        for a in KNOWN_ACCELERATORS.values()
+        if a.technology == "ASIC" and a.area_mm2
+    ]
+    assert min(asic_areas) >= 100
+    assert max(asic_areas) >= 350
+
+
+def test_operator_accelerators_motivate_cham():
+    """HEAX/F1 target operators; the roofline shows why that caps them."""
+    operator_designs = [
+        a for a in KNOWN_ACCELERATORS.values() if a.scope == "operator"
+    ]
+    assert len(operator_designs) >= 2
+    from repro.hw.roofline import roofline_points
+
+    pts = roofline_points()
+    assert pts["NTT"].peak_fraction < 0.1  # what an operator design can use
+
+
+@pytest.mark.benchmark(group="compare")
+def test_perf_rows(benchmark):
+    benchmark(comparison_rows)

@@ -1,0 +1,113 @@
+"""E5 — Fig. 2b: design-space exploration.
+
+Sweeps pipeline split x engines x NTT units x butterfly PEs, scores each
+point by throughput and utilization, and checks that the paper's two
+published optima sit on (or within 1% of) the Pareto frontier.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.hw.dse import enumerate_design_space, pareto_front
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return enumerate_design_space(bench_rows=2048)
+
+
+def test_figure_2b_scatter(sweep):
+    front = pareto_front(sweep)
+    front_labels = {p.label for p in front}
+    rows = []
+    for p in sorted(sweep, key=lambda p: -p.rows_per_sec)[:14]:
+        rows.append(
+            (
+                p.label,
+                f"{p.rows_per_sec:,.0f}",
+                f"{p.max_utilization_pct:.1f}%",
+                "yes" if p.fits else "NO",
+                "*" if p.label in front_labels else "",
+            )
+        )
+    print_table(
+        "Fig. 2b: design points (top 14 by performance)",
+        ["config", "rows/s", "max util", "fits@75%", "frontier"],
+        rows,
+    )
+    assert front
+
+
+def test_paper_optima(sweep):
+    """(9 stages, 6 NTT, 4-PE, 2 engines) and (9 stages, 6 NTT, 8-PE,
+    1 engine): equal performance, both feasible, both frontier-grade."""
+
+    def find(stages, engines, units, n_bfu):
+        return next(
+            p
+            for p in sweep
+            if (p.stages, p.engines, p.ntt_units_per_group, p.n_bfu)
+            == (stages, engines, units, n_bfu)
+        )
+
+    deployed = find(9, 2, 6, 4)
+    alt = find(9, 1, 6, 8)
+    print_table(
+        "The two published optima",
+        ["config", "rows/s", "max util", "fits"],
+        [
+            (deployed.label, f"{deployed.rows_per_sec:,.0f}", f"{deployed.max_utilization_pct:.1f}%", deployed.fits),
+            (alt.label, f"{alt.rows_per_sec:,.0f}", f"{alt.max_utilization_pct:.1f}%", alt.fits),
+        ],
+    )
+    assert deployed.fits and alt.fits
+    assert deployed.rows_per_sec == pytest.approx(alt.rows_per_sec, rel=0.02)
+    front = pareto_front(sweep)
+    best_comparable = max(
+        (
+            p.rows_per_sec
+            for p in front
+            if p.max_utilization_pct <= deployed.max_utilization_pct + 0.5
+        ),
+        default=0.0,
+    )
+    assert deployed.rows_per_sec >= 0.98 * best_comparable
+
+
+def test_infeasible_corner(sweep):
+    """The maxed-out corner (3 engines, 8 units, 8 PEs) must not fit."""
+    big = [
+        p
+        for p in sweep
+        if p.engines == 3 and p.ntt_units_per_group == 8 and p.n_bfu == 8
+    ]
+    assert big and all(not p.fits for p in big)
+
+
+def test_reduce_buffer_axis():
+    """Ablation: the reduce buffer must hold ~log2(rows) intermediates;
+    too small deadlocks the pack tree (DESIGN.md §5)."""
+    pts = enumerate_design_space(
+        stages_options=(9,),
+        engines_options=(1,),
+        ntt_units_options=(6,),
+        n_bfu_options=(4,),
+        buffer_options=(2, 4, 16),
+        bench_rows=2048,
+    )
+    by_buf = {p.reduce_buffer: p for p in pts}
+    print_table(
+        "Ablation: reduce buffer sizing (2048-row pack)",
+        ["entries", "rows/s", "deadlocked"],
+        [
+            (b, f"{p.rows_per_sec:,.0f}", p.deadlocked)
+            for b, p in sorted(by_buf.items())
+        ],
+    )
+    assert by_buf[2].deadlocked
+    assert not by_buf[16].deadlocked
+
+
+@pytest.mark.benchmark(group="dse")
+def test_perf_full_sweep(benchmark):
+    benchmark(enumerate_design_space, bench_rows=256)

@@ -1,0 +1,80 @@
+"""Extension bench — energy efficiency and the memory system.
+
+The paper reports speed-ups; adopters also ask about joules and DDR
+headroom.  Both derive from the same simulators (see `repro.hw.power`
+and `repro.hw.memory`), so they inherit the latency model's calibration.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.hw.memory import StagingBuffer, job_traffic, sustained_bandwidth
+from repro.hw.power import PowerModel, energy_per_hmvp
+
+
+def test_energy_table():
+    rows = []
+    for m, n in [(2048, 256), (8192, 4096), (16384, 4096)]:
+        out = energy_per_hmvp(m, n)
+        rows.append(
+            (
+                f"{m}x{n}",
+                f"{out['cpu_j']:.1f}",
+                f"{out['gpu_j']:.1f}",
+                f"{out['cham_j']:.2f}",
+                f"{out['cham_vs_cpu']:.0f}x",
+                f"{out['cham_vs_gpu']:.1f}x",
+            )
+        )
+    print_table(
+        "Energy per HMVP (J)",
+        ["matrix", "CPU", "GPU", "CHAM", "vs CPU", "vs GPU"],
+        rows,
+    )
+    final = energy_per_hmvp(16384, 4096)
+    assert final["cham_vs_cpu"] > 100
+    assert final["cham_vs_gpu"] > 3
+
+
+def test_bandwidth_headroom_table():
+    bw = sustained_bandwidth()
+    rows = [
+        ("per engine", f"{bw['per_engine_gbps']:.2f} GB/s"),
+        ("both engines", f"{bw['total_gbps']:.2f} GB/s"),
+        ("DDR roof", f"{bw['roof_gbps']:.0f} GB/s"),
+        ("fraction used", f"{100 * bw['fraction_of_roof']:.1f}%"),
+    ]
+    print_table("Sustained DDR bandwidth at full rate", ["stream", "value"], rows)
+    assert bw["fraction_of_roof"] < 0.25
+
+
+def test_traffic_breakdown_table():
+    t = job_traffic(rows=4096)
+    rows = [(k, f"{v / 2**20:.2f} MiB") for k, v in t.by_stream().items()]
+    rows.append(("total", f"{t.total / 2**20:.2f} MiB"))
+    print_table("DDR traffic for one 4096x4096 HMVP", ["stream", "bytes"], rows)
+    assert t.rows_in / t.total > 0.95  # the matrix stream dominates
+
+
+def test_staging_buffer_sizing():
+    """The engine's 12-poly staging buffer is enough: DMA at PCIe rate
+    refills faster than the 3-poly-per-row drain."""
+    # PCIe 12.8 GB/s at 300 MHz = ~42.7 B/cycle = 1/768 poly per cycle
+    fill = 12.8e9 / 300e6 / (4096 * 8)
+    buf = StagingBuffer(
+        capacity_polys=12, fill_rate=fill, drain_per_row=3, row_interval=6144
+    )
+    out = buf.simulate(rows=256)
+    rows = [
+        ("fill rate", f"{fill * 6144:.1f} polys/interval"),
+        ("drain", "3 polys/interval"),
+        ("peak occupancy", f"{out['peak_polys']:.1f} polys"),
+        ("engine starves", out["starves"]),
+    ]
+    print_table("Staging buffer (12 URAM polys)", ["metric", "value"], rows)
+    assert out["starves"] <= 1
+
+
+@pytest.mark.benchmark(group="energy")
+def test_perf_energy_model(benchmark):
+    benchmark(energy_per_hmvp, 4096, 4096)

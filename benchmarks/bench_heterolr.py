@@ -1,0 +1,177 @@
+"""E8 — Fig. 7a/7b: HeteroLR step times across dataset sizes.
+
+Reproduces the per-step comparison (encryption, add_vec, matvec,
+decryption) between FATE's original Paillier backend, the B/FV
+replacement on CPU, and B/FV on CHAM — plus the end-to-end "2 to 36
+times" acceleration claim.
+
+One full-batch iteration of the Hardy et al. protocol over a dataset of
+``samples x features``: party A encrypts the residual vector (length
+``samples``), party B folds in its half (add_vec), both parties compute
+gradient blocks ``X^T e`` (jointly a ``features x samples`` HMVP), and
+the arbiter decrypts ``features`` gradient entries.  The end-to-end
+figure adds FATE's orchestration overhead (serialization, scheduling,
+network), calibrated so the small-dataset speedup bottoms out near the
+paper's 2x.
+
+The functional correctness of the protocol itself (all three backends
+agreeing with the cleartext oracle) is covered in tests/test_heterolr.py;
+here we also *run* the real BFV trainer as a timing kernel.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+from conftest import print_table
+
+from repro.apps.datasets import make_vertical_dataset
+from repro.apps.heterolr import BfvBackend, HeteroLrTrainer, LrConfig
+from repro.hw.perf import ChamPerfModel, CpuCostModel, PaillierCostModel
+
+#: FATE orchestration overhead per iteration batch (calibrated; see
+#: EXPERIMENTS.md E8 — this is what caps the small-dataset speedup at ~2x)
+FRAMEWORK_OVERHEAD_S = 12.0
+
+DATASETS = [(2048, 256), (4096, 1024), (8192, 4096), (8192, 8192)]
+
+RING_N = 4096
+
+
+@dataclass
+class StepTimes:
+    encrypt: float
+    add_vec: float
+    matvec: float
+    decrypt: float
+
+    @property
+    def total(self) -> float:
+        return self.encrypt + self.add_vec + self.matvec + self.decrypt
+
+
+def paillier_steps(samples: int, features: int) -> StepTimes:
+    p = PaillierCostModel()
+    return StepTimes(
+        encrypt=p.encrypt_vec_s(samples),
+        add_vec=p.add_vec_s(samples),
+        matvec=p.matvec_s(features, samples),
+        decrypt=p.decrypt_vec_s(features),
+    )
+
+
+def bfv_cpu_steps(samples: int, features: int) -> StepTimes:
+    c = CpuCostModel()
+    tiles = -(-samples // RING_N)
+    packs = -(-features // RING_N)
+    return StepTimes(
+        encrypt=tiles * c.encrypt_ms * 1e-3,
+        add_vec=tiles * c.add_ct_us * 1e-6,
+        matvec=c.hmvp_s(features, samples),
+        decrypt=packs * c.decrypt_ms * 1e-3,
+    )
+
+
+def bfv_cham_steps(samples: int, features: int) -> StepTimes:
+    c = CpuCostModel()
+    cham = ChamPerfModel()
+    tiles = -(-samples // RING_N)
+    packs = -(-features // RING_N)
+    return StepTimes(
+        encrypt=tiles * c.encrypt_ms * 1e-3,
+        add_vec=tiles * c.add_ct_us * 1e-6,
+        matvec=cham.hmvp_s(features, samples),
+        decrypt=packs * c.decrypt_ms * 1e-3,
+    )
+
+
+def test_figure_7ab_step_times():
+    rows = []
+    for samples, features in DATASETS:
+        pail = paillier_steps(samples, features)
+        cpu = bfv_cpu_steps(samples, features)
+        cham = bfv_cham_steps(samples, features)
+        rows.append(
+            (
+                f"{samples}x{features}",
+                f"{pail.encrypt:.2f}/{cpu.encrypt:.4f}",
+                f"{pail.add_vec:.3f}/{cpu.add_vec:.6f}",
+                f"{pail.matvec:.1f}/{cpu.matvec:.1f}/{cham.matvec:.3f}",
+                f"{pail.decrypt:.2f}/{cpu.decrypt:.4f}",
+            )
+        )
+        # B/FV reduces overhead of ALL steps (the paper's conclusion)
+        assert cpu.encrypt < pail.encrypt
+        assert cpu.add_vec < pail.add_vec
+        assert cpu.matvec < pail.matvec
+        assert cpu.decrypt < pail.decrypt
+        # and CHAM accelerates the matvec further
+        assert cham.matvec < cpu.matvec
+    print_table(
+        "Fig. 7a/b: HeteroLR step times (s) — Paillier / BFV-CPU (/ CHAM)",
+        ["dataset", "encrypt", "add_vec", "matvec", "decrypt"],
+        rows,
+    )
+
+
+def test_matvec_speedup_30_to_1800():
+    """'the HMVP, accelerated by CHAM, is faster than its CPU baseline by
+    30x to 1800x' across the Fig. 7 datasets."""
+    ratios = []
+    for samples, features in DATASETS:
+        pail = paillier_steps(samples, features)
+        cpu = bfv_cpu_steps(samples, features)
+        cham = bfv_cham_steps(samples, features)
+        ratios.append(cpu.matvec / cham.matvec)  # BFV-CPU baseline
+        ratios.append(pail.matvec / cham.matvec)  # Paillier baseline
+    lo, hi = min(ratios), max(ratios)
+    print(f"\nmatvec speedups span {lo:.0f}x .. {hi:,.0f}x (paper: 30x .. 1800x)")
+    assert 15 <= lo <= 160
+    assert 1300 <= hi <= 2400
+
+
+def test_end_to_end_2_to_36x():
+    """'the end-to-end HeteroLR is accelerated by 2 to 36 times', with
+    the large-matrix datasets at the top because matvec dominates."""
+    rows = []
+    ratios = []
+    for samples, features in DATASETS:
+        pail = paillier_steps(samples, features).total + FRAMEWORK_OVERHEAD_S
+        cham = bfv_cham_steps(samples, features).total + FRAMEWORK_OVERHEAD_S
+        ratio = pail / cham
+        ratios.append(ratio)
+        rows.append((f"{samples}x{features}", f"{pail:.1f}", f"{cham:.1f}", f"{ratio:.1f}x"))
+    print_table(
+        "End-to-end HeteroLR iteration (s)",
+        ["dataset", "Paillier (FATE)", "BFV+CHAM", "speedup"],
+        rows,
+    )
+    assert 1.3 <= ratios[0] <= 4  # small dataset: framework-bound, ~2x
+    assert 25 <= ratios[-1] <= 45  # 8192x8192: matvec-bound, ~36x
+    assert ratios == sorted(ratios)  # monotone in dataset size
+
+
+def test_speedup_increases_with_matrix_dominance():
+    """The paper: large matrices see the highest gains because HMVP
+    dominates end-to-end time."""
+    small = paillier_steps(2048, 256)
+    large = paillier_steps(8192, 8192)
+    assert large.matvec / large.total > small.matvec / small.total
+
+
+# -- timing kernels ---------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="heterolr")
+def test_perf_real_bfv_training_iteration(benchmark):
+    """One real encrypted mini-batch pass of the BFV trainer (toy ring)."""
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+
+    data = make_vertical_dataset(64, 8, seed=11)
+    scheme = BfvScheme(toy_params(n=64, plain_bits=40), seed=12, max_pack=64)
+    cfg = LrConfig(epochs=1, batch_size=64, learning_rate=0.2)
+
+    def run():
+        HeteroLrTrainer(BfvBackend(scheme), cfg).train(data)
+
+    benchmark(run)

@@ -1,0 +1,63 @@
+"""E3 — the key-switch throughput discussion of Section V-B1.
+
+Paper: "CHAM achieves a throughput of 65 k ops/sec that is 105x higher
+than the CPU baseline."  CHAM's rate comes from the pack pipeline's
+initiation interval; the CPU anchor is fixed by the quoted ratio.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.he.keys import generate_keyswitch_key, generate_secret_key
+from repro.he.keyswitch import apply_keyswitch
+from repro.he.rlwe import encrypt
+from repro.hw.perf import ChamPerfModel, CpuCostModel
+
+
+def test_keyswitch_throughput_table():
+    cham = ChamPerfModel()
+    cpu = CpuCostModel()
+    cham_ks = cham.keyswitch_throughput()
+    cpu_ks = cpu.keyswitch_throughput()
+    rows = [
+        ("CHAM (1 engine pack pipeline)", f"{cham_ks:,.0f}", f"{cham_ks / cpu_ks:.0f}x"),
+        ("CHAM (2 engines)", f"{cham.keyswitch_throughput(2):,.0f}", ""),
+        ("CPU Xeon 6130 (model)", f"{cpu_ks:,.0f}", "1x"),
+    ]
+    print_table(
+        "Key-switch throughput (ops/s, paper: 65 k @ 105x)",
+        ["platform", "ops/s", "speedup"],
+        rows,
+    )
+    assert cham_ks == pytest.approx(65_000, rel=0.1)
+    assert 90 <= cham_ks / cpu_ks <= 120
+
+
+def test_keyswitch_pipeline_interval_balances_row_rate():
+    """The pack (key-switch) pipeline must keep up with the dot-product
+    stage or Alg. 1 would bottleneck on stage 5-9."""
+    from repro.hw.arch import EngineConfig
+
+    engine = EngineConfig()
+    assert engine.pack_interval <= engine.dot_product_interval
+
+
+@pytest.mark.benchmark(group="keyswitch")
+def test_perf_keyswitch_kernel(benchmark, bench_scheme, rng):
+    """Time the real RNS-hybrid key-switch at the toy ring size."""
+    ctx = bench_scheme.ctx
+    sk = bench_scheme.secret_key
+    other = generate_secret_key(ctx)
+    ksk = generate_keyswitch_key(ctx, other, sk)
+    pt = bench_scheme.encoder.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx, other, pt, augmented=False)
+    benchmark(apply_keyswitch, ct, ksk)
+
+
+@pytest.mark.benchmark(group="keyswitch")
+def test_perf_keyswitch_keygen(benchmark, bench_scheme):
+    ctx = bench_scheme.ctx
+    sk = bench_scheme.secret_key
+    other = generate_secret_key(ctx)
+    benchmark(generate_keyswitch_key, ctx, other, sk)

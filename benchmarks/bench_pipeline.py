@@ -1,0 +1,103 @@
+"""E12 — Section III-A pipeline behaviour.
+
+Reproduces the textual claims about the macro-pipeline: a bubble-free
+NTT dataflow, 4095 PACKTWOLWES reductions for a 4096-row pack, reduce-
+buffer-mediated preemption of the preceding stages, and the fill/drain
+amortization that makes Fig. 6 near-linear.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.hw.arch import EngineConfig, NttUnitConfig, cham_default_config
+from repro.hw.ntt_datapath import NttDatapathSim
+from repro.hw.pipeline import MacroPipeline
+from repro.math.primes import CHAM_Q0
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return MacroPipeline(EngineConfig())
+
+
+def test_pipeline_trace_table(pipe):
+    cfg = cham_default_config()
+    rows = []
+    for m in (16, 256, 1024, 4096):
+        s = pipe.simulate_hmvp(m)
+        rows.append(
+            (
+                m,
+                f"{s.total_cycles:,}",
+                s.reductions,
+                s.preemptions,
+                s.reduce_buffer_peak,
+                f"{s.dot_utilization:.2f}",
+                f"{s.throughput_rows_per_sec(cfg.clock_hz):,.0f}",
+            )
+        )
+    print_table(
+        "Macro-pipeline traces (1 engine)",
+        ["rows", "cycles", "reductions", "preempts", "buf peak", "dot util", "rows/s"],
+        rows,
+    )
+
+
+def test_4095_reductions_for_4096_rows(pipe):
+    assert pipe.simulate_hmvp(4096).reductions == 4095
+
+
+def test_bubble_free_ntt_issue():
+    """Within a stage the BFUs issue every cycle: the simulated datapath
+    total exceeds the ideal (N/2 log N)/n_bf only by per-stage drain."""
+    sim = NttDatapathSim(NttUnitConfig(n=256, n_bfu=4, ram_banks=8), CHAM_Q0)
+    a = np.arange(256, dtype=np.uint64)
+    _, report = sim.forward(a)
+    overhead = report.cycles - report.steady_cycles
+    assert overhead <= 2 * 8  # two cycles per stage, log2(256)=8 stages
+    print(f"\nNTT issue overhead: {overhead} cycles over {report.steady_cycles} ideal")
+
+
+def test_preemption_and_stalls(pipe):
+    s = pipe.simulate_hmvp(1024)
+    assert s.preemptions > 0  # deeper reductions jump the queue
+    # the default 16-entry buffer absorbs the tree without stalling
+    assert s.stall_cycles == 0
+    # the minimum viable buffer is exactly the tree depth + 1 (13 for a
+    # 4096-row pack); one entry less deadlocks
+    tight = MacroPipeline(EngineConfig(reduce_buffer_entries=13))
+    assert tight.simulate_hmvp(4096).reductions == 4095
+    with pytest.raises(RuntimeError, match="deadlock"):
+        MacroPipeline(EngineConfig(reduce_buffer_entries=12)).simulate_hmvp(4096)
+
+
+def test_fill_drain_amortization(pipe):
+    """Per-row cycles converge to the dot-product interval from above."""
+    cfg = cham_default_config()
+    per_row = {
+        m: pipe.simulate_hmvp(m).total_cycles / m for m in (16, 256, 4096)
+    }
+    assert per_row[16] > per_row[256] > per_row[4096]
+    assert per_row[4096] == pytest.approx(
+        cfg.engine.dot_product_interval, rel=0.03
+    )
+
+
+def test_pack_tail_is_logarithmic(pipe):
+    """After the last dot product only ~log2(m) reductions remain."""
+    m = 1024
+    s = pipe.simulate_hmvp(m)
+    dot_done = pipe.fill_cycles + m * pipe.dot_interval
+    tail = s.total_cycles - dot_done
+    assert tail <= (m.bit_length() + 2) * pipe.pack_interval + pipe.pack_latency
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_perf_pipeline_sim_4096(benchmark, pipe):
+    benchmark(pipe.simulate_hmvp, 4096)
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_perf_pipeline_sim_tiled(benchmark, pipe):
+    benchmark(pipe.simulate_hmvp, 1024, 4)

@@ -1,0 +1,65 @@
+"""E4 — Fig. 2a: the roofline model on the U200.
+
+Reproduces the paper's Section III-B argument: the compute intensity of
+individual HE operators (NTT, key-switch) sits far below HMVP's, so
+offloading them one at a time starves the DSPs on memory traffic.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.hw.arch import U200
+from repro.hw.roofline import hmvp_kernel, roofline_points
+
+
+def test_figure_2a_points():
+    pts = roofline_points()
+    rows = []
+    for name, k in pts.items():
+        rows.append(
+            (
+                name,
+                f"{k.intensity:.2f}",
+                f"{k.attainable_ops_per_sec / 1e9:.0f}",
+                f"{100 * k.peak_fraction:.1f}%",
+                "memory" if k.memory_bound else "compute",
+            )
+        )
+    rows.append(
+        ("(ridge)", f"{U200.ridge_intensity:.2f}", f"{U200.peak_ops_per_sec / 1e9:.0f}", "100%", "-")
+    )
+    print_table(
+        "Fig. 2a: roofline on U200 (27x18 ops)",
+        ["kernel", "ops/byte", "attainable Gop/s", "of peak", "bound"],
+        rows,
+    )
+    assert pts["NTT"].intensity < pts["KeySwitch"].intensity < pts["HMVP"].intensity
+    assert pts["NTT"].peak_fraction < 0.1
+    assert pts["KeySwitch"].peak_fraction < 0.1
+    assert pts["HMVP"].peak_fraction > 0.8
+
+
+def test_whole_kernel_offload_factor():
+    """Quantify the paper's design decision: whole-HMVP offload admits an
+    order of magnitude more of the device's compute than per-op offload."""
+    pts = roofline_points()
+    gain_vs_ntt = pts["HMVP"].peak_fraction / pts["NTT"].peak_fraction
+    gain_vs_ks = pts["HMVP"].peak_fraction / pts["KeySwitch"].peak_fraction
+    print_table(
+        "Whole-kernel offload advantage",
+        ["vs kernel", "attainable-compute gain"],
+        [("NTT", f"{gain_vs_ntt:.1f}x"), ("KeySwitch", f"{gain_vs_ks:.1f}x")],
+    )
+    assert gain_vs_ntt > 10
+    assert gain_vs_ks > 8
+
+
+def test_hmvp_intensity_grows_with_amortization():
+    small = hmvp_kernel(m=16)
+    large = hmvp_kernel(m=4096)
+    assert large.intensity >= small.intensity
+
+
+@pytest.mark.benchmark(group="roofline")
+def test_perf_roofline_eval(benchmark):
+    benchmark(roofline_points)

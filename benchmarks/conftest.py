@@ -1,0 +1,44 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*.py`` module reproduces one table or figure of the paper
+(see DESIGN.md §4 for the index).  Two kinds of entries coexist:
+
+* ``test_table_* / test_figure_*`` — *reproduction* entries: they compute
+  the paper's rows/series from the simulators and models, print them in
+  the paper's layout (run with ``-s`` to see the tables), and assert the
+  qualitative shape (who wins, by roughly what factor, where crossovers
+  fall);
+* ``test_perf_*`` — ``pytest-benchmark`` timings of the underlying
+  Python kernels themselves (run with ``--benchmark-only``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+
+
+def print_table(title, headers, rows):
+    """Uniform fixed-width table printer for reproduction output."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def bench_scheme():
+    """Toy-ring scheme for functional kernels in timing benchmarks."""
+    return BfvScheme(toy_params(n=128, plain_bits=40), seed=41, max_pack=128)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0xBEEF)

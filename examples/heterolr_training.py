@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Federated logistic regression over encrypted gradients (Fig. 7a/b).
+
+Trains the Hardy et al. HeteroLR protocol on a synthetic vertically-
+partitioned dataset three times — cleartext oracle, Paillier (FATE's
+original), and B/FV with the real Alg. 1 HMVP pipeline — verifies the
+three agree, then projects the training-step times onto the paper's
+hardware targets with the calibrated performance models.
+
+Usage: python examples/heterolr_training.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps.datasets import make_vertical_dataset
+from repro.apps.heterolr import (
+    BfvBackend,
+    HeteroLrTrainer,
+    LrConfig,
+    PaillierBackend,
+    PlainBackend,
+)
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+from repro.hw.perf import ChamPerfModel, CpuCostModel, PaillierCostModel
+
+
+def main() -> None:
+    print("HeteroLR: two-party logistic regression with HE gradients")
+    print("=" * 64)
+    data = make_vertical_dataset(n_samples=192, n_features=16, seed=3)
+    print(f"dataset: {data.n_samples} samples, {data.n_features} features "
+          f"({data.features_a.shape[1]} at party A, "
+          f"{data.features_b.shape[1]} at party B)")
+    cfg = LrConfig(epochs=4, batch_size=64, learning_rate=0.3)
+
+    runs = {}
+    for name, backend in [
+        ("plain", PlainBackend()),
+        ("paillier", PaillierBackend(key_bits=256, seed=4)),
+        (
+            "bfv",
+            BfvBackend(BfvScheme(toy_params(n=64, plain_bits=40), seed=5, max_pack=64)),
+        ),
+    ]:
+        t0 = time.time()
+        weights, hist = HeteroLrTrainer(backend, cfg).train(data)
+        runs[name] = weights
+        print(
+            f"{name:9s}: accuracy/epoch {[f'{a:.3f}' for a in hist.accuracies]} "
+            f"final loss {hist.losses[-1]:.4f}  ({time.time() - t0:.1f}s)"
+        )
+
+    drift_p = float(np.max(np.abs(runs["plain"] - runs["paillier"])))
+    drift_b = float(np.max(np.abs(runs["plain"] - runs["bfv"])))
+    print(f"\nweight drift vs cleartext: paillier {drift_p:.2e}, bfv {drift_b:.2e}")
+    assert drift_p < 1e-2 and drift_b < 1e-2
+
+    # projection onto the paper's testbed (Fig. 7a/b scale)
+    print("\nprojected full-batch iteration at production scale:")
+    cham, cpu, pail = ChamPerfModel(), CpuCostModel(), PaillierCostModel()
+    for samples, features in [(2048, 256), (8192, 4096), (8192, 8192)]:
+        t_pail = (
+            pail.encrypt_vec_s(samples)
+            + pail.matvec_s(features, samples)
+            + pail.decrypt_vec_s(features)
+        )
+        t_cpu = cpu.hmvp_s(features, samples)
+        t_cham = cham.hmvp_s(features, samples)
+        print(
+            f"  {samples:5d}x{features:<5d}: paillier {t_pail:8.1f}s | "
+            f"bfv-cpu {t_cpu:6.1f}s | bfv-cham {t_cham * 1e3:7.1f}ms | "
+            f"matvec speedup {pail.matvec_s(features, samples) / t_cham:7.0f}x"
+        )
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

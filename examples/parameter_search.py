@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Designing the next CHAM: parameter + design-space search.
+
+Uses the parameter generator and the DSE/resource/floorplan models to
+sketch a hypothetical "CHAM-2" operating point (N = 8192, three 40-bit
+limbs — enough depth for one ciphertext-ciphertext multiplication) and
+checks what it would cost on the same VU9P.
+
+Usage: python examples/parameter_search.py
+"""
+
+from repro.he.paramgen import ParamRequest, generate_params, low_hamming_prime_menu
+from repro.hw.arch import ChamConfig, EngineConfig, NttUnitConfig
+from repro.hw.dse import achievable_clock_mhz, enumerate_design_space, pareto_front
+from repro.hw.pipeline import MacroPipeline
+from repro.hw.resources import total_resources, utilization
+
+
+def main() -> None:
+    print("Parameter + design search for a hypothetical CHAM-2")
+    print("=" * 60)
+
+    # 1. the prime menu the hardware team picks from
+    menu = low_hamming_prime_menu(8192, range(36, 46))
+    print("[1] weight-3 NTT primes at N=8192 (the shift-add menu):")
+    for bits, primes in menu.items():
+        if primes:
+            print(f"    {bits} bits: {[hex(q) for q in primes]}")
+
+    # 2. a deeper parameter set
+    req = ParamRequest(
+        n=8192, ct_modulus_bits=(40, 40, 40), special_bits=45, plain_bits=30
+    )
+    params = generate_params(req)
+    print(f"\n[2] generated set: {params.describe()}")
+    print(f"    augmented ciphertext: {params.ct_poly_count_aug} polynomials")
+
+    # 3. what the pipeline would clock at N=8192
+    unit = NttUnitConfig(n=8192, n_bfu=4)
+    print(f"\n[3] NTT unit at N=8192: {unit.cycles:,} cycles "
+          f"(vs 6,144 at N=4096)")
+    engine = EngineConfig(ntt_unit=unit)
+    stats = MacroPipeline(engine).simulate_hmvp(2048)
+    print(f"    one-engine HMVP rate: "
+          f"{stats.throughput_rows_per_sec(300e6):,.0f} rows/s")
+
+    # 4. does two-of-these still fit the VU9P?
+    cfg = ChamConfig(engine=engine, engines=2)
+    util = utilization(total_resources(cfg))
+    fits = all(v < 75 for v in util.values())
+    print(f"\n[4] two N=8192 engines on VU9P: "
+          f"max util {max(util.values()):.1f}% -> fits@75%: {fits}")
+
+    # 5. and where the N=4096 frontier sits for reference
+    points = enumerate_design_space(bench_rows=1024)
+    front = pareto_front(points)
+    best = front[0]
+    print(f"\n[5] N=4096 frontier best: {best.label} at "
+          f"{best.rows_per_sec:,.0f} rows/s, "
+          f"closing ~{achievable_clock_mhz(best):.0f} MHz")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

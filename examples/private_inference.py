@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Private linear-layer inference: conv + dense under HE.
+
+The GAZELLE/Cheetah-style split the paper's introduction motivates:
+linear layers run homomorphically (CHAM's workload), non-linear layers
+in the clear at the client (standing in for the MPC step).  A tiny
+conv->ReLU->dense model classifies synthetic images; the encrypted
+pipeline must match the cleartext model bit-for-bit.
+
+Usage: python examples/private_inference.py
+"""
+
+import numpy as np
+
+from repro.apps.datasets import make_digit_images
+from repro.apps.inference import PrivateInference, TinyModel
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+
+
+def main() -> None:
+    print("Private inference: conv (HE) -> ReLU (client) -> dense (HE)")
+    print("=" * 62)
+
+    image_size = 12
+    scheme = BfvScheme(toy_params(n=256, plain_bits=40), seed=10, max_pack=4)
+    model = TinyModel.random(image_size, classes=2, seed=11)
+    protocol = PrivateInference(scheme, model, image_size)
+    print(f"model: 3x3 conv -> ReLU -> dense {model.fc.shape}")
+    print(f"ring : n={scheme.params.n}, one ciphertext per {image_size}x"
+          f"{image_size} image")
+
+    images, labels = make_digit_images(6, image_size, seed=12)
+    agree = 0
+    for i, img in enumerate(images):
+        logits_enc = protocol.run(img)
+        logits_clear = model.predict_clear(img)
+        match = np.array_equal(logits_enc, logits_clear)
+        agree += match
+        print(f"image {i}: label={labels[i]} enc_logits="
+              f"{[int(x) for x in logits_enc]} exact_match={bool(match)}")
+    assert agree == len(images)
+    print(f"\nall {agree}/{len(images)} encrypted predictions match the "
+          "cleartext model exactly (integer pipeline, zero degradation —")
+    print("the paper's argument against polynomial activation approximation)")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

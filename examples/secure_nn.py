@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multi-layer secure neural-network inference (Delphi offline/online).
+
+Builds a conv -> ReLU -> flatten -> dense -> ReLU -> dense integer
+network, mints the offline correlations with the real HE pipeline (one
+HMVP / convolution per linear layer), then classifies images online
+using only masked cleartext shares — and prints the byte split between
+the two phases.
+
+Usage: python examples/secure_nn.py
+"""
+
+import numpy as np
+
+from repro.apps.datasets import make_digit_images
+from repro.apps.nn import (
+    ConvLayer,
+    FlattenLayer,
+    LinearLayer,
+    PrivateNetwork,
+    ReluLayer,
+    Sequential,
+)
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+
+
+def main() -> None:
+    print("Secure NN inference: Delphi offline/online over the HE pipeline")
+    print("=" * 66)
+
+    rng = np.random.default_rng(60)
+    model = Sequential(
+        layers=[
+            ConvLayer(kernels=rng.integers(-3, 4, (2, 3, 3))),
+            ReluLayer(),
+            FlattenLayer(),
+            LinearLayer(weights=rng.integers(-2, 3, (8, 200))),
+            ReluLayer(),
+            LinearLayer(weights=rng.integers(-2, 3, (2, 8))),
+        ],
+        input_shape=(12, 12),
+    )
+    print("model : conv(2x3x3) -> ReLU -> flatten -> fc(8) -> ReLU -> fc(2)")
+
+    scheme = BfvScheme(toy_params(n=256, plain_bits=40), seed=61, max_pack=8)
+    net = PrivateNetwork(scheme, model, seed=62)
+
+    print("offline: minting correlations (one HE pass per linear layer)...")
+    net.offline()
+    offline_bytes = sum(
+        m.size for m in net.channel.log if m.label.startswith("offline")
+    )
+    print(f"offline traffic: {offline_bytes:,} bytes (ciphertexts)")
+
+    images, labels = make_digit_images(5, 12, seed=63)
+    correct = 0
+    online_start = len(net.channel.log)
+    for i, img in enumerate(images):
+        logits = net.online(img)
+        want = model.predict_clear(img)
+        exact = np.array_equal(logits, want)
+        correct += exact
+        print(f"image {i}: label={labels[i]} logits={[int(x) for x in logits]} "
+              f"exact={bool(exact)}")
+    assert correct == len(images)
+
+    online_bytes = sum(m.size for m in net.channel.log[online_start:])
+    print(f"\nonline traffic for {len(images)} inferences: "
+          f"{online_bytes:,} bytes (masked cleartext shares only)")
+    print(f"per-inference online cost: {online_bytes // len(images):,} bytes "
+          f"— {offline_bytes // max(online_bytes // len(images), 1)}x lighter "
+          "than the offline phase it consumed")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""CHAM reproduction: a customized homomorphic encryption accelerator for
+fast matrix-vector product (Ren et al., DAC 2023), as a Python library.
+
+The package is layered:
+
+* :mod:`repro.math` — modular arithmetic, gold-model and constant-geometry
+  NTTs, ring polynomials, RNS;
+* :mod:`repro.he` — the RNS-BFV scheme with the paper's exact moduli,
+  LWE/RLWE conversion and PACKLWES (plus the Paillier baseline);
+* :mod:`repro.core` — coefficient-encoded HMVP (Alg. 1), tiling,
+  convolutions, and the baseline encodings it is compared against;
+* :mod:`repro.hw` — cycle-level simulation of the CHAM FPGA (NTT
+  datapath, macro-pipeline, resources, roofline, DSE, heterogeneous
+  system, RAS runtime) plus calibrated CPU/GPU performance models;
+* :mod:`repro.apps` — HeteroLR, Beaver triple generation, private
+  inference.
+
+Quickstart::
+
+    from repro.he import BfvScheme, cham_params
+    from repro.core import TiledHmvp
+
+    scheme = BfvScheme(cham_params(), seed=0, max_pack=4096)
+    tiler = TiledHmvp(scheme)
+    result = tiler(matrix, vector)   # encrypt -> Alg. 1 -> decrypt
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, core, he, hw, math
+
+__all__ = ["apps", "core", "he", "hw", "math", "__version__"]

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the zero-code tour:
+
+``demo``
+    one encrypted matrix-vector product end to end (toy ring by default,
+    ``--production`` for N=4096);
+``tables``
+    print the headline reproduced tables (Table II, Table III, operator
+    throughputs, roofline);
+``trace``
+    render the macro-pipeline Gantt for a given row count;
+``params``
+    show (or generate) a parameter set;
+``dse``
+    run the design-space sweep and print the frontier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.hmvp import hmvp
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import cham_params, toy_params
+
+    params = cham_params() if args.production else toy_params(n=256, plain_bits=40)
+    rows = args.rows
+    scheme = BfvScheme(params, seed=args.seed, max_pack=rows)
+    rng = np.random.default_rng(args.seed)
+    n = params.n
+    matrix = rng.integers(-(1 << 12), 1 << 12, (rows, n))
+    vector = rng.integers(-(1 << 12), 1 << 12, n)
+    print(f"params : {params.describe()}")
+    ct = scheme.encrypt_vector(vector)
+    result = hmvp(scheme, matrix, ct)
+    got = result.decrypt(scheme)
+    want = matrix.astype(object) @ vector.astype(object)
+    ok = bool(np.array_equal(got, want))
+    print(f"HMVP   : {rows}x{n}, {result.ops.pack_reductions} reductions, "
+          f"correct={ok}")
+    from repro.he.noise import packed_slot_positions
+
+    pos = packed_slot_positions(n, rows)
+    print(f"noise  : packed slot budget "
+          f"{scheme.noise_budget(result.packs[0].ct, pos):.1f} bits")
+    return 0 if ok else 1
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.hw.arch import cham_default_config
+    from repro.hw.perf import ChamPerfModel, CpuCostModel
+    from repro.hw.resources import (
+        TABLE3_NTT_VARIANTS,
+        engine_resources,
+        total_resources,
+        utilization,
+    )
+    from repro.hw.roofline import roofline_points
+
+    cfg = cham_default_config()
+    print("== Table II: utilization on VU9P ==")
+    for key, val in utilization(total_resources(cfg)).items():
+        print(f"  {key:5s} {val:6.2f}%")
+    eng = engine_resources(cfg.engine)
+    print(f"  (engine: LUT {eng.lut:,}, DSP {eng.dsp})")
+
+    print("== Table III: NTT module variants ==")
+    for mem, (lut, bram) in TABLE3_NTT_VARIANTS.items():
+        print(f"  {mem:10s} LUT {lut:6,}  BRAM {bram:2d}  latency 6144")
+
+    cham = ChamPerfModel()
+    cpu = CpuCostModel()
+    print("== operator throughputs ==")
+    print(f"  NTT offload : {cham.ntt_offload_throughput():,.0f} ops/s (paper 195k)")
+    ks = cham.keyswitch_throughput()
+    print(f"  key-switch  : {ks:,.0f} ops/s = "
+          f"{ks / cpu.keyswitch_throughput():.0f}x CPU (paper 65k @ 105x)")
+
+    print("== roofline (Fig. 2a) ==")
+    for name, k in roofline_points().items():
+        print(f"  {name:9s} {k.intensity:6.2f} op/B -> "
+              f"{100 * k.peak_fraction:5.1f}% of peak")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.hw.arch import EngineConfig
+    from repro.hw.trace import capture_trace, render_gantt
+
+    trace = capture_trace(EngineConfig(), rows=args.rows, col_tiles=args.tiles)
+    print(render_gantt(trace, width=args.width))
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.he.paramgen import ParamRequest, generate_params
+    from repro.he.params import cham_params
+
+    if args.n == 4096 and args.limbs == 2:
+        params = cham_params()
+    else:
+        params = generate_params(
+            ParamRequest(
+                n=args.n,
+                ct_modulus_bits=tuple([args.limb_bits] * args.limbs),
+                special_bits=args.special_bits,
+                plain_bits=args.plain_bits,
+            )
+        )
+    print(params.describe())
+    print(f"ct moduli      : {[hex(q) for q in params.ct_moduli]}")
+    print(f"special modulus: {hex(params.special_modulus)}")
+    print(f"plain modulus  : {params.plain_modulus}")
+    print(f"poly counts    : ct {params.ct_poly_count} "
+          f"(aug {params.ct_poly_count_aug}), pt {params.pt_poly_count} "
+          f"(aug {params.pt_poly_count_aug})")
+    return 0
+
+
+def _cmd_compare(_args: argparse.Namespace) -> int:
+    from repro.hw.compare import comparison_rows
+
+    header = ["design", "venue", "tech", "clock", "NTT ATP", "mm^2", "scope", "multi"]
+    rows = comparison_rows()
+    widths = [max(len(str(h)), max(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    print(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.hw.power import energy_per_hmvp
+
+    out = energy_per_hmvp(args.rows, args.cols)
+    print(f"energy per {args.rows}x{args.cols} HMVP:")
+    print(f"  CPU : {out['cpu_j']:8.2f} J")
+    print(f"  GPU : {out['gpu_j']:8.2f} J")
+    print(f"  CHAM: {out['cham_j']:8.2f} J "
+          f"({out['cham_vs_cpu']:.0f}x vs CPU, {out['cham_vs_gpu']:.1f}x vs GPU)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report
+
+    text = generate_report(args.output)
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.hw.dse import enumerate_design_space, pareto_front
+
+    points = enumerate_design_space(bench_rows=args.rows)
+    front = pareto_front(points)
+    print(f"{len(points)} points, {sum(p.fits for p in points)} feasible, "
+          f"{len(front)} on the frontier:")
+    for p in front:
+        print(f"  {p.label:26s} {p.rows_per_sec:10,.0f} rows/s  "
+              f"max util {p.max_utilization_pct:5.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHAM (DAC 2023) reproduction command-line tour",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one encrypted HMVP")
+    demo.add_argument("--rows", type=int, default=8)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--production", action="store_true",
+                      help="use the full N=4096 parameter set")
+    demo.set_defaults(func=_cmd_demo)
+
+    tables = sub.add_parser("tables", help="print headline reproduced tables")
+    tables.set_defaults(func=_cmd_tables)
+
+    trace = sub.add_parser("trace", help="render a pipeline Gantt")
+    trace.add_argument("--rows", type=int, default=32)
+    trace.add_argument("--tiles", type=int, default=1)
+    trace.add_argument("--width", type=int, default=72)
+    trace.set_defaults(func=_cmd_trace)
+
+    params = sub.add_parser("params", help="show/generate a parameter set")
+    params.add_argument("--n", type=int, default=4096)
+    params.add_argument("--limbs", type=int, default=2)
+    params.add_argument("--limb-bits", type=int, default=35)
+    params.add_argument("--special-bits", type=int, default=39)
+    params.add_argument("--plain-bits", type=int, default=40)
+    params.set_defaults(func=_cmd_params)
+
+    dse = sub.add_parser("dse", help="design-space sweep (Fig. 2b)")
+    dse.add_argument("--rows", type=int, default=1024)
+    dse.set_defaults(func=_cmd_dse)
+
+    compare = sub.add_parser("compare", help="published-accelerator landscape")
+    compare.set_defaults(func=_cmd_compare)
+
+    energy = sub.add_parser("energy", help="energy per HMVP on each platform")
+    energy.add_argument("--rows", type=int, default=8192)
+    energy.add_argument("--cols", type=int, default=4096)
+    energy.set_defaults(func=_cmd_energy)
+
+    report = sub.add_parser("report", help="full reproduction report (markdown)")
+    report.add_argument("--output", "-o", default=None)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""Baseline HMVP encodings the paper compares against (Section II-E).
+
+Two families from GAZELLE [21] are implemented, both *functionally* (real
+ciphertexts, real rotations) and as op-count models:
+
+* **batch-encoded rotate-and-sum** — the vector lives in SIMD slots; each
+  row is slot-multiplied and the product's slots are summed with
+  ``log2`` rotations: ``O(m log2 N)`` rotations total.
+* **diagonal-encoded** — the matrix is encoded along (extended)
+  diagonals; one rotation + one plaintext multiply per diagonal:
+  ``O(m)`` rotations, like Alg. 1's ``O(m)`` — but each step carries a
+  full key-switch, whereas the coefficient method pays one key-switch
+  per *packed output row* and nothing per multiply, which is the paper's
+  "smaller overhead" argument.
+
+SIMD batching needs an NTT-friendly *plaintext* modulus
+(``t ≡ 1 mod 2N``); :func:`batch_friendly_plain_modulus` finds one.  We
+use the natural ``N/2``-slot subgroup (the ⟨3⟩ orbit of the evaluation
+points), which keeps the rotation group cyclic and the code honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Sequence
+
+import numpy as np
+
+from ..he.bfv import BfvScheme
+from ..he.automorphism import apply_automorphism
+from ..he.encoder import Plaintext
+from ..he.keys import generate_galois_keyset
+from ..he.params import CheParams
+from ..he.rlwe import RlweCiphertext
+from ..math.ntt import NegacyclicNtt, bit_reverse
+from ..math.primes import is_prime
+from .hmvp import HmvpOpCount
+
+__all__ = [
+    "batch_friendly_plain_modulus",
+    "BatchEncoder",
+    "BaselineHmvp",
+    "rotate_and_sum_op_count",
+    "diagonal_op_count",
+]
+
+
+@lru_cache(maxsize=None)
+def batch_friendly_plain_modulus(n: int, bits: int = 40) -> int:
+    """Smallest ``bits``-bit prime ``≡ 1 (mod 2n)`` usable for batching."""
+    step = 2 * n
+    t = (1 << (bits - 1)) + 1
+    t += (-(t - 1)) % step
+    while True:
+        if is_prime(t):
+            return t
+        t += step
+
+
+class BatchEncoder:
+    """SIMD slot encoder over an NTT-friendly plaintext modulus.
+
+    Slot ``i`` (of ``n/2``) is the evaluation of the plaintext polynomial
+    at ``ψ_t^{3^i mod 2n}``; the Galois map ``X -> X^{3^r}`` rotates the
+    slots by ``r`` positions.  The merged-NTT output index of evaluation
+    exponent ``2*brv(k)+1`` gives the slot ↔ transform-coefficient map.
+    """
+
+    def __init__(self, params: CheParams) -> None:
+        n, t = params.n, params.plain_modulus
+        if t % (2 * n) != 1:
+            raise ValueError(
+                f"plain modulus {t} is not ≡ 1 (mod {2 * n}); "
+                "use batch_friendly_plain_modulus"
+            )
+        self.n = n
+        self.t = t
+        self.slots = n // 2
+        self._ntt = NegacyclicNtt(n, t)
+        bits = n.bit_length() - 1
+        # NTT output index k evaluates at exponent 2*brv(k)+1
+        exp_of_index = np.array(
+            [2 * bit_reverse(k, bits) + 1 for k in range(n)], dtype=np.int64
+        )
+        index_of_exp = np.full(2 * n, -1, dtype=np.int64)
+        index_of_exp[exp_of_index] = np.arange(n)
+        # slot i lives at exponent 3^i mod 2n
+        exps = []
+        e = 1
+        for _ in range(self.slots):
+            exps.append(e)
+            e = e * 3 % (2 * n)
+        self.slot_exponents = np.array(exps, dtype=np.int64)
+        self.slot_indices = index_of_exp[self.slot_exponents]
+        if (self.slot_indices < 0).any():
+            raise AssertionError("slot exponent not hit by NTT output map")
+        # the conjugate orbit (exponents -3^i); mirrored values keep the
+        # polynomial's slot vector consistent under encode/decode
+        conj = (2 * n - self.slot_exponents) % (2 * n)
+        self.conj_indices = index_of_exp[conj]
+
+    def encode(self, values: Sequence[int]) -> Plaintext:
+        """Encode up to ``n/2`` signed integers into SIMD slots."""
+        vals = np.asarray(values)
+        if vals.shape[0] > self.slots:
+            raise ValueError(f"{vals.shape[0]} values exceed {self.slots} slots")
+        reduced = np.mod(vals.astype(object), self.t).astype(np.uint64)
+        evals = np.zeros(self.n, dtype=np.uint64)
+        evals[self.slot_indices[: reduced.shape[0]]] = reduced
+        # mirror into the conjugate orbit so rotations stay closed
+        evals[self.conj_indices[: reduced.shape[0]]] = reduced
+        coeffs = self._ntt.inverse(evals)
+        return Plaintext(coeffs, self.t)
+
+    def decode(self, pt: Plaintext, count: int) -> np.ndarray:
+        """Centered slot values (first ``count`` slots)."""
+        evals = self._ntt.forward(pt.coeffs.astype(np.uint64))
+        vals = evals[self.slot_indices[:count]].astype(object)
+        half = self.t // 2
+        return np.where(vals > half, vals - self.t, vals)
+
+    def rotation_element(self, r: int) -> int:
+        """Galois element rotating the slots by ``r`` positions."""
+        return pow(3, r % self.slots, 2 * self.n)
+
+
+@dataclass
+class BaselineHmvp:
+    """Functional batch-encoded HMVP baselines over a real scheme.
+
+    The scheme's plaintext modulus must be batching-friendly; rotation
+    Galois keys are generated lazily for the elements each call needs.
+    """
+
+    scheme: BfvScheme
+
+    def __post_init__(self) -> None:
+        self.encoder = BatchEncoder(self.scheme.params)
+        self._have_elements: set = set()
+
+    def _ensure_keys(self, elements: List[int]) -> None:
+        missing = [g for g in elements if g not in self._have_elements]
+        if missing:
+            ks = generate_galois_keyset(
+                self.scheme.ctx, self.scheme.secret_key, missing
+            )
+            self.scheme.galois_keys.keys.update(ks.keys)
+            self._have_elements.update(missing)
+
+    def encrypt_slots(self, v: Sequence[int]) -> RlweCiphertext:
+        """Encrypt a vector into SIMD slots (normal basis)."""
+        pt = self.encoder.encode(v)
+        from ..he.rlwe import encrypt
+
+        return encrypt(self.scheme.ctx, self.scheme.secret_key, pt, augmented=False)
+
+    def encrypt_slots_replicated(self, v: Sequence[int]) -> RlweCiphertext:
+        """Encrypt ``v`` tiled across all slots (diagonal method input).
+
+        Replication makes slot rotation behave as a cyclic shift of the
+        length-``len(v)`` vector, which the diagonal layout relies on;
+        ``len(v)`` must divide the slot count.
+        """
+        v = np.asarray(v)
+        slots = self.encoder.slots
+        if slots % v.shape[0]:
+            raise ValueError(f"vector length {v.shape[0]} must divide {slots}")
+        return self.encrypt_slots(np.tile(v, slots // v.shape[0]))
+
+    def rotate(self, ct: RlweCiphertext, r: int) -> RlweCiphertext:
+        g = self.encoder.rotation_element(r)
+        self._ensure_keys([g])
+        return apply_automorphism(ct, g, self.scheme.galois_keys)
+
+    # -- rotate-and-sum (naive batch-encoded, O(m log N)) ---------------------------
+
+    def rotate_and_sum(
+        self, matrix: Sequence[Sequence[int]], ct_v: RlweCiphertext
+    ) -> List[RlweCiphertext]:
+        """One output ciphertext per row; result in every slot of each.
+
+        For each row: slot-multiply, then fold the ``n/2`` slots with
+        ``log2(n/2)`` rotations.
+        """
+        matrix = np.asarray(matrix)
+        m, n_cols = matrix.shape
+        if n_cols > self.encoder.slots:
+            raise ValueError("row length exceeds slot count")
+        outs = []
+        for i in range(m):
+            pt_row = self.encoder.encode(matrix[i])
+            acc = ct_v.multiply_plain(pt_row)
+            steps = 1
+            while steps < self.encoder.slots:
+                acc = acc + self.rotate(acc, steps)
+                steps *= 2
+            outs.append(acc)
+        return outs
+
+    def decode_rotate_and_sum(self, cts: List[RlweCiphertext]) -> np.ndarray:
+        vals = []
+        for ct in cts:
+            pt = self.scheme.decrypt_plaintext(ct)
+            vals.append(int(self.encoder.decode(pt, 1)[0]))
+        return np.array(vals, dtype=object)
+
+    # -- diagonal method (GAZELLE, O(m)) --------------------------------------------
+
+    def diagonal(
+        self, matrix: Sequence[Sequence[int]], ct_v: RlweCiphertext
+    ) -> RlweCiphertext:
+        """Extended-diagonal HMVP: ``sum_d diag_d ⊙ rot(v, d)``.
+
+        ``ct_v`` must come from :meth:`encrypt_slots_replicated`.  Requires
+        ``m <= n_cols <= slots``, ``m | n_cols`` and ``n_cols | slots``
+        (the classic GAZELLE layout); the result occupies slots
+        ``0..m-1`` after the final rotate-and-sum over ``n/m`` chunks.
+        """
+        matrix = np.asarray(matrix)
+        m, n_cols = matrix.shape
+        slots = self.encoder.slots
+        if not (m <= n_cols <= slots):
+            raise ValueError("need m <= n_cols <= slots")
+        if n_cols % m or slots % n_cols:
+            raise ValueError("diagonal method needs m | n_cols | slots")
+        acc = None
+        for d in range(m):
+            # extended diagonal d: slot j carries A[j mod m][(j+d) mod n],
+            # aligning with rot(v, d) whose slot j is v[(j+d) mod n]
+            diag = np.array(
+                [matrix[j % m][(j + d) % n_cols] for j in range(n_cols)],
+                dtype=object,
+            )
+            rot_v = self.rotate(ct_v, d) if d else ct_v
+            term = rot_v.multiply_plain(self.encoder.encode(diag))
+            acc = term if acc is None else acc + term
+        # fold the n_cols/m chunks: rot by m, 2m, 4m ...
+        chunk = m
+        while chunk < n_cols:
+            acc = acc + self.rotate(acc, chunk)
+            chunk *= 2
+        return acc
+
+    def decode_diagonal(self, ct: RlweCiphertext, m: int) -> np.ndarray:
+        pt = self.scheme.decrypt_plaintext(ct)
+        return self.encoder.decode(pt, m)
+
+
+def rotate_and_sum_op_count(m: int, n: int, limbs: int, limbs_aug: int) -> HmvpOpCount:
+    """Op-count model of the batch rotate-and-sum method: ``O(m log2 N)``.
+
+    Per row: 1 plaintext multiply + ``log2(n/2)`` rotations, each rotation
+    one automorphism + one hybrid key-switch.
+    """
+    log_rot = max((n // 2 - 1).bit_length(), 1)
+    rot = m * log_rot
+    return HmvpOpCount(
+        rows=m,
+        cols=n,
+        dot_products=m,
+        ntts=m * limbs + rot * limbs * limbs_aug,
+        intts=m * 2 * limbs + rot * 2 * limbs_aug,
+        pointwise_mults=m * 2 * limbs + rot * limbs * 2 * limbs_aug,
+        rescales=rot * 2,
+        keyswitches=rot,
+        automorphisms=rot,
+    )
+
+
+def diagonal_op_count(m: int, n: int, limbs: int, limbs_aug: int) -> HmvpOpCount:
+    """Op-count model of the GAZELLE diagonal method: ``O(m)`` rotations."""
+    rot = m - 1 + max((max(n // m, 1) - 1).bit_length(), 0)
+    return HmvpOpCount(
+        rows=m,
+        cols=n,
+        dot_products=m,
+        ntts=m * limbs + rot * limbs * limbs_aug,
+        intts=m * 2 * limbs + rot * 2 * limbs_aug,
+        pointwise_mults=m * 2 * limbs + rot * limbs * 2 * limbs_aug,
+        rescales=rot * 2,
+        keyswitches=rot,
+        automorphisms=rot,
+    )

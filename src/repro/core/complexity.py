@@ -1,0 +1,100 @@
+"""Closed-form complexity models for the three HMVP encodings (§II-E).
+
+The paper's claim: coefficient encoding needs ``O(m)`` HE operations
+against ``O(m log2 N)`` for batch encoding, and although the diagonal
+method is also ``O(m)``, each of its steps carries a rotation
+(automorphism + key-switch) while coefficient encoding pays only one
+key-switch per packed output — "much smaller overhead".
+
+These functions return both the headline *HE-op* counts (the unit of the
+paper's asymptotic argument: one plaintext multiply or one rotation) and
+the full :class:`~repro.core.hmvp.HmvpOpCount` breakdown used by the
+performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .baselines import diagonal_op_count, rotate_and_sum_op_count
+from .hmvp import HmvpOpCount
+
+__all__ = ["EncodingCost", "coefficient_cost", "batch_cost", "diagonal_cost"]
+
+
+@dataclass(frozen=True)
+class EncodingCost:
+    """Headline costs of one HMVP under a given encoding."""
+
+    name: str
+    he_multiplies: int
+    rotations: int
+    keyswitches: int
+    ops: HmvpOpCount
+
+    @property
+    def he_ops(self) -> int:
+        """The unit of the paper's O(·) comparison."""
+        return self.he_multiplies + self.rotations
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def coefficient_cost(m: int, n: int, ring_n: int, limbs: int = 2) -> EncodingCost:
+    """Alg. 1 cost: ``m`` multiplies, zero rotations, ``m - 1``-ish
+    key-switches *inside the pack tree* (amortised one per output row)."""
+    limbs_aug = limbs + 1
+    col_tiles = _ceil_div(n, ring_n)
+    row_tiles = _ceil_div(m, ring_n)
+    mults = m * col_tiles
+    ops = HmvpOpCount()
+    for _ in range(row_tiles):
+        rows_here = min(m, ring_n)
+        ops = ops + HmvpOpCount.for_dot_products(rows_here * col_tiles, n, limbs_aug)
+        ops = ops + HmvpOpCount.for_pack(rows_here, limbs, limbs_aug)
+    return EncodingCost(
+        name="coefficient",
+        he_multiplies=mults,
+        rotations=0,
+        keyswitches=ops.keyswitches,
+        ops=ops,
+    )
+
+
+def batch_cost(m: int, n: int, ring_n: int, limbs: int = 2) -> EncodingCost:
+    """Batch rotate-and-sum cost: ``O(m log2 N)`` rotations."""
+    limbs_aug = limbs + 1
+    ops = rotate_and_sum_op_count(m, min(n, ring_n), limbs, limbs_aug)
+    col_tiles = _ceil_div(n, ring_n)
+    if col_tiles > 1:
+        base = ops
+        for _ in range(col_tiles - 1):
+            ops = ops + base
+    return EncodingCost(
+        name="batch",
+        he_multiplies=m * col_tiles,
+        rotations=ops.automorphisms,
+        keyswitches=ops.keyswitches,
+        ops=ops,
+    )
+
+
+def diagonal_cost(m: int, n: int, ring_n: int, limbs: int = 2) -> EncodingCost:
+    """GAZELLE diagonal cost: ``O(m)`` rotations (one per diagonal)."""
+    limbs_aug = limbs + 1
+    n_eff = min(n, ring_n)
+    ops = diagonal_op_count(min(m, n_eff), n_eff, limbs, limbs_aug)
+    col_tiles = _ceil_div(n, ring_n)
+    row_tiles = _ceil_div(m, n_eff)
+    total = HmvpOpCount()
+    for _ in range(col_tiles * row_tiles):
+        total = total + ops
+    return EncodingCost(
+        name="diagonal",
+        he_multiplies=total.dot_products,
+        rotations=total.automorphisms,
+        keyswitches=total.keyswitches,
+        ops=total,
+    )

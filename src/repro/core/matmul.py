@@ -1,0 +1,69 @@
+"""Encrypted matrix-matrix products: ``A · [[B]]`` column by column.
+
+The natural composition of the paper's primitive: a cleartext matrix
+``A`` against an *encrypted* matrix ``B`` — e.g. a weight matrix against
+a batch of encrypted activation vectors (the batched-inference shape) or
+the second half of a two-sided secure multiplication.  Each column of
+``B`` is one encrypted vector; the row encodings of ``A`` are hoisted
+once via :class:`~repro.core.batch.BatchedHmvp`, and each column costs
+one Alg. 1 pass.
+
+The result is one packed ciphertext per column (a column of ``A·B``),
+decryptable independently — which is exactly how a batch of inference
+results would be returned to distinct clients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..he.bfv import BfvScheme
+from ..he.rlwe import RlweCiphertext
+from .batch import BatchedHmvp
+from .hmvp import HmvpOpCount, HmvpResult
+
+__all__ = ["EncryptedMatmul"]
+
+
+class EncryptedMatmul:
+    """``A · [[B]]`` with ``A`` cleartext ``(m, k)`` and ``B`` encrypted
+    column-wise (``k``-vectors)."""
+
+    def __init__(self, scheme: BfvScheme, matrix: Sequence[Sequence[int]]) -> None:
+        self.scheme = scheme
+        self.batched = BatchedHmvp(scheme, matrix)
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return self.batched.shape
+
+    def encrypt_matrix(self, b: np.ndarray) -> List[RlweCiphertext]:
+        """Encrypt ``B`` (shape ``(k, cols)``) as one ciphertext per column."""
+        b = np.asarray(b)
+        if b.ndim != 2:
+            raise ValueError("B must be 2-D")
+        if b.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"inner dimensions differ: A is {self.shape}, B has "
+                f"{b.shape[0]} rows"
+            )
+        return [self.scheme.encrypt_vector(b[:, j]) for j in range(b.shape[1])]
+
+    def multiply(self, encrypted_cols: List[RlweCiphertext]) -> List[HmvpResult]:
+        """One packed result per column of ``A·B``."""
+        return self.batched.multiply_batch(encrypted_cols)
+
+    def decrypt_product(self, results: List[HmvpResult]) -> np.ndarray:
+        """Assemble the full ``(m, cols)`` product matrix."""
+        cols = [res.decrypt(self.scheme) for res in results]
+        return np.stack(cols, axis=1)
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        """Encrypt, multiply, decrypt: returns ``A·B`` exactly."""
+        return self.decrypt_product(self.multiply(self.encrypt_matrix(b)))
+
+    def op_count(self, cols: int) -> HmvpOpCount:
+        """Total operation count for a ``cols``-column product."""
+        return self.batched.amortized_op_count(cols)

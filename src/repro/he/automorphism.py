@@ -1,0 +1,30 @@
+"""Homomorphic Galois automorphisms (the AUTOMORPH stage of Alg. 2).
+
+Applying ``X -> X^g`` to both components of a ciphertext maps an
+encryption of ``m(X)`` under ``s(X)`` to an encryption of ``m(X^g)``
+under ``s(X^g)``; a key-switch with the Galois key for ``g`` then
+restores the native secret.  ``g`` must be odd (a unit mod ``2N``).
+"""
+
+from __future__ import annotations
+
+from .keys import GaloisKeyset, KeySwitchKey
+from .keyswitch import apply_keyswitch
+from .rlwe import RlweCiphertext
+
+__all__ = ["apply_automorphism", "apply_automorphism_with_key"]
+
+
+def apply_automorphism_with_key(
+    ct: RlweCiphertext, g: int, key: KeySwitchKey
+) -> RlweCiphertext:
+    """``Enc_s(m(X)) -> Enc_s(m(X^g))`` using an explicit Galois key."""
+    rotated = ct.automorph_raw(g)
+    return apply_keyswitch(rotated, key)
+
+
+def apply_automorphism(
+    ct: RlweCiphertext, g: int, keyset: GaloisKeyset
+) -> RlweCiphertext:
+    """``Enc_s(m(X)) -> Enc_s(m(X^g))`` looking the key up in a keyset."""
+    return apply_automorphism_with_key(ct, g, keyset[g])

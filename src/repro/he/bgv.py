@@ -1,0 +1,184 @@
+"""BGV: the least-significant-bit-encoded sibling of BFV.
+
+Completes the scheme trio the paper's introduction names (B/FV, CKKS,
+TFHE-style LWE).  BGV stores the message in the *low* bits of the phase:
+
+``c0 + c1 s = m + t e   (mod Q)``
+
+against BFV's most-significant-bit embedding ``round(Q/t) m + e``.  Both
+run on the identical substrate (rings, NTT units, key material), and the
+two are famously interchangeable: one public scalar multiplication
+moves between the embeddings, at the cost of a fixed *message factor*:
+
+* BGV -> BFV: multiply the ciphertext by ``t^{-1} mod Q``; the result
+  is a valid BFV encryption of ``-Q^{-1} * m mod t`` with the same
+  small noise ``e``;
+* BFV -> BGV: multiply by ``t mod Q``; the result encrypts
+  ``-Q * m mod t``.
+
+The two factors are exact inverses mod ``t``, so the round trip is the
+identity; because they are public constants, callers multiply the
+*decoded* message by the inverse of :func:`conversion_factor` — a
+ciphertext-side correction would cost ~log2(t) noise bits and is never
+needed.
+
+Supported operations mirror what HMVP needs: encrypt/decrypt, addition,
+plaintext multiplication (noise grows by ``||pt||`` — same as BFV), and
+the coefficient-encoded dot product.  Modulus switching (BGV's native
+noise management) is out of scope: CHAM's pipeline manages noise with
+the single rescale-by-``p``, which BGV ciphertexts cannot share without
+``t``-correction — documented limitation, enforced at the API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..math.modular import modadd_vec, modinv, modmul_vec, modneg_vec
+from .context import CheContext
+from .encoder import CoefficientEncoder, Plaintext
+from .keys import SecretKey, generate_secret_key
+from .params import CheParams, cham_params
+from .rlwe import RlweCiphertext
+
+__all__ = ["BgvScheme", "bgv_to_bfv", "bfv_to_bgv", "conversion_factor"]
+
+
+class BgvScheme:
+    """A minimal BGV instance over the CHAM substrate.
+
+    BGV ciphertexts reuse :class:`RlweCiphertext` storage (normal basis
+    only); the embedding is what differs, so conversion to/from BFV is a
+    scalar multiplication.
+    """
+
+    def __init__(
+        self,
+        params: Optional[CheParams] = None,
+        seed: Optional[int] = None,
+        shared_secret: Optional[SecretKey] = None,
+    ) -> None:
+        self.params = params if params is not None else cham_params()
+        self.ctx = CheContext(self.params, seed)
+        self.encoder = CoefficientEncoder(self.params)
+        self.secret_key = (
+            shared_secret if shared_secret is not None else generate_secret_key(self.ctx)
+        )
+
+    @property
+    def t(self) -> int:
+        return self.params.plain_modulus
+
+    # -- encryption ---------------------------------------------------------------
+
+    def encrypt(self, pt: Plaintext) -> RlweCiphertext:
+        """``(-(a s) + t e + m, a)`` over the normal basis."""
+        ctx = self.ctx
+        basis = ctx.ct_basis
+        a = ctx.sample_uniform(basis)
+        e = ctx.sample_error_signed()
+        te = ctx.signed_to_limbs(e * self.t, basis)
+        s = self.secret_key.limbs(ctx, basis)
+        a_s = ctx.negacyclic_multiply(a, s, basis)
+        m_limbs = ctx.signed_to_limbs(pt.centered(), basis)
+        c0 = np.stack(
+            [
+                modadd_vec(
+                    modadd_vec(modneg_vec(a_s[i], q), te[i], q), m_limbs[i], q
+                )
+                for i, q in enumerate(basis)
+            ]
+        )
+        return RlweCiphertext(ctx, basis, c0, a)
+
+    def encrypt_vector(self, values: Sequence[int]) -> RlweCiphertext:
+        return self.encrypt(self.encoder.encode_vector(np.asarray(values)))
+
+    def decrypt(self, ct: RlweCiphertext) -> Plaintext:
+        """``(c0 + c1 s mod Q) mod t`` with the centered lift."""
+        if ct.is_augmented:
+            raise ValueError("BGV ciphertexts live in the normal basis")
+        phase = ct.phase(self.secret_key)  # centered bigints
+        t = self.t
+        coeffs = np.asarray(np.mod(phase, t), dtype=np.uint64)
+        return Plaintext(coeffs, t)
+
+    def decrypt_coeffs(self, ct: RlweCiphertext, count: int) -> np.ndarray:
+        return self.decrypt(ct).centered()[:count]
+
+    # -- homomorphic operations -------------------------------------------------------
+
+    def add(self, a: RlweCiphertext, b: RlweCiphertext) -> RlweCiphertext:
+        return a + b
+
+    def multiply_plain(self, ct: RlweCiphertext, pt: Plaintext) -> RlweCiphertext:
+        """Same NTT pipeline as BFV; noise scales with ``||pt||`` and t."""
+        return ct.multiply_plain(pt)
+
+    def dot_product(self, ct: RlweCiphertext, row: Sequence[int]) -> RlweCiphertext:
+        """Coefficient-encoded dot product (Eq. 1/2), BGV embedding."""
+        return ct.multiply_plain(self.encoder.encode_row(np.asarray(row)))
+
+    # -- diagnostics ----------------------------------------------------------------------
+
+    def noise_bits(self, ct: RlweCiphertext) -> float:
+        """log2 of the BGV noise ``e`` with ``phase = m + t e``."""
+        import math
+
+        phase = ct.phase(self.secret_key)
+        t = self.t
+        worst = 0
+        for v in phase:
+            m = int(v) % t
+            if m > t // 2:
+                m -= t
+            e = (int(v) - m) // t
+            worst = max(worst, abs(e))
+        return math.log2(worst) if worst else 0.0
+
+
+def bgv_to_bfv(bgv: BgvScheme, ct: RlweCiphertext) -> RlweCiphertext:
+    """Embedding switch: the result is a BFV encryption of
+    ``conversion_factor(params, "bgv->bfv") * m mod t`` at noise ``e``."""
+    basis = ct.basis
+    q_prod = basis.product
+    k = modinv(bgv.t % q_prod, q_prod)
+    c0 = np.stack(
+        [modmul_vec(ct.c0[i], np.uint64(k % q), q) for i, q in enumerate(basis)]
+    )
+    c1 = np.stack(
+        [modmul_vec(ct.c1[i], np.uint64(k % q), q) for i, q in enumerate(basis)]
+    )
+    return RlweCiphertext(ct.ctx, basis, c0, c1)
+
+
+def bfv_to_bgv(bfv_scheme, ct: RlweCiphertext) -> RlweCiphertext:
+    """Inverse switch: a BGV encryption of ``-Q * m mod t`` at noise ``e``."""
+    if ct.is_augmented:
+        raise ValueError("convert normal-basis ciphertexts (rescale first)")
+    basis = ct.basis
+    t = bfv_scheme.params.plain_modulus
+    c0 = np.stack(
+        [modmul_vec(ct.c0[i], np.uint64(t % q), q) for i, q in enumerate(basis)]
+    )
+    c1 = np.stack(
+        [modmul_vec(ct.c1[i], np.uint64(t % q), q) for i, q in enumerate(basis)]
+    )
+    return RlweCiphertext(ct.ctx, basis, c0, c1)
+
+
+def conversion_factor(params: CheParams, direction: str) -> int:
+    """The public message factor a conversion applies (mod t).
+
+    ``direction`` is ``"bgv->bfv"`` (factor ``-Q^{-1} mod t``) or
+    ``"bfv->bgv"`` (factor ``-Q mod t``); the two are inverse mod ``t``.
+    """
+    t = params.plain_modulus
+    q = params.q_product % t
+    if direction == "bgv->bfv":
+        return (-modinv(q, t)) % t
+    if direction == "bfv->bgv":
+        return (-q) % t
+    raise ValueError(f"unknown direction {direction!r}")

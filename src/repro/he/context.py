@@ -1,0 +1,124 @@
+"""Shared HE context: randomness, samplers and per-limb NTT caches.
+
+Every HE object (keys, ciphertexts, the HMVP engine) references one
+:class:`CheContext`.  The context owns
+
+* the parameter set,
+* a seeded :class:`numpy.random.Generator` (reproducible experiments),
+* samplers for the three RLWE distributions (uniform, ternary secret,
+  centered discrete Gaussian error),
+* cached :class:`~repro.math.ntt.NegacyclicNtt` objects per modulus, and
+* helpers that apply per-limb NTT transforms to RNS limb stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..math.ntt import NegacyclicNtt
+from ..math.rns import RnsBasis
+from .params import CheParams
+
+__all__ = ["CheContext"]
+
+
+class CheContext:
+    """Runtime state shared by all HE operations under one parameter set."""
+
+    def __init__(self, params: CheParams, seed: Optional[int] = None) -> None:
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self._ntts: Dict[int, NegacyclicNtt] = {}
+
+    # -- NTT machinery -----------------------------------------------------------
+
+    def ntt(self, q: int) -> NegacyclicNtt:
+        """The cached negacyclic NTT context for modulus ``q``."""
+        ctx = self._ntts.get(q)
+        if ctx is None:
+            ctx = NegacyclicNtt(self.params.n, q)
+            self._ntts[q] = ctx
+        return ctx
+
+    def ntt_limbs(self, limbs: np.ndarray, basis: RnsBasis) -> np.ndarray:
+        """Forward NTT of an RNS limb stack ``(L, ..., n)``, per-limb moduli."""
+        return np.stack(
+            [self.ntt(q).forward(limbs[i]) for i, q in enumerate(basis)]
+        )
+
+    def intt_limbs(self, limbs: np.ndarray, basis: RnsBasis) -> np.ndarray:
+        """Inverse NTT of an RNS limb stack."""
+        return np.stack(
+            [self.ntt(q).inverse(limbs[i]) for i, q in enumerate(basis)]
+        )
+
+    def negacyclic_multiply(
+        self, a: np.ndarray, b: np.ndarray, basis: RnsBasis
+    ) -> np.ndarray:
+        """Per-limb negacyclic product of two limb stacks."""
+        return np.stack(
+            [self.ntt(q).multiply(a[i], b[i]) for i, q in enumerate(basis)]
+        )
+
+    # -- samplers ------------------------------------------------------------------
+
+    def sample_uniform(self, basis: RnsBasis) -> np.ndarray:
+        """Uniform ring element as an RNS limb stack ``(L, n)``.
+
+        Each limb is sampled independently and uniformly — this represents
+        a uniform element of ``R_Q`` exactly, by CRT.
+        """
+        n = self.params.n
+        return np.stack(
+            [self.rng.integers(0, q, n, dtype=np.uint64) for q in basis]
+        )
+
+    def sample_ternary_signed(self) -> np.ndarray:
+        """Ternary secret coefficients in ``{-1, 0, 1}`` (int64)."""
+        return self.rng.integers(-1, 2, self.params.n, dtype=np.int64)
+
+    def sample_error_signed(self, std: Optional[float] = None) -> np.ndarray:
+        """Centered discrete Gaussian error (rounded normal, int64)."""
+        sigma = self.params.error_std if std is None else std
+        return np.rint(
+            self.rng.normal(0.0, sigma, self.params.n)
+        ).astype(np.int64)
+
+    def signed_to_limbs(self, signed: np.ndarray, basis: RnsBasis) -> np.ndarray:
+        """Reduce small signed coefficients into each limb of a basis."""
+        signed = np.asarray(signed, dtype=np.int64)
+        out = []
+        for q in basis:
+            out.append(np.mod(signed, q).astype(np.uint64))
+        return np.stack(out)
+
+    def limbs_for(self, values: Sequence[int], basis: RnsBasis) -> np.ndarray:
+        """Reduce arbitrary (bigint) coefficients into a limb stack."""
+        arr = np.asarray(values, dtype=object)
+        return np.stack(
+            [np.asarray(np.mod(arr, q), dtype=np.uint64) for q in basis]
+        )
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def t(self) -> int:
+        return self.params.plain_modulus
+
+    @property
+    def ct_basis(self) -> RnsBasis:
+        return self.params.ct_basis
+
+    @property
+    def aug_basis(self) -> RnsBasis:
+        return self.params.aug_basis
+
+    def fork(self, seed: int) -> "CheContext":
+        """A context with the same parameters but an independent stream."""
+        return CheContext(self.params, seed)

@@ -1,0 +1,97 @@
+"""Conversions between ciphertext types and schemes (§I, [4], [7], [26]).
+
+The paper motivates CHAM with "novel algorithms" that (a) use multiple
+ciphertext *types* — RLWE and LWE — with conversions between them, and
+(b) compose multiple *schemes* (B/FV, CKKS) into hybrids.  This module
+collects the conversion toolkit:
+
+* RLWE -> LWE: :func:`repro.he.lwe.extract_lwe` (re-exported);
+* LWE -> RLWE: :func:`repro.he.lwe.lwe_to_rlwe` (Eq. 3) and the full
+  PACKLWES (re-exported);
+* **BFV -> CKKS** (:func:`bfv_to_ckks`): *exact* reinterpretation.  A BFV
+  ciphertext carries ``round(M/t * m) + e``, which is precisely a CKKS
+  ciphertext at scale ``M/t`` — zero-cost, zero-noise, same key.
+* **CKKS -> BFV** (:func:`ckks_to_bfv`): scale alignment by the integer
+  ``k = round(M / (t * scale))``.  The recovered integer message is exact
+  whenever ``|m| < M / (t * scale)`` (the CHIMERA-style bound exposed by
+  :func:`max_exact_message`); beyond it the conversion degrades
+  gracefully like any approximate scheme switch.
+
+Both scheme conversions require the two schemes to share the secret key
+(pass ``shared_secret`` when constructing :class:`~repro.he.ckks.CkksScheme`),
+exactly as deployed hybrid systems do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..math.modular import modmul_vec
+from .bfv import BfvScheme
+from .ckks import CkksCiphertext, CkksScheme
+from .lwe import extract_lwe, lwe_to_rlwe  # re-exports
+from .packing import pack_lwes  # re-export
+from .rlwe import RlweCiphertext
+
+__all__ = [
+    "bfv_to_ckks",
+    "ckks_to_bfv",
+    "max_exact_message",
+    "extract_lwe",
+    "lwe_to_rlwe",
+    "pack_lwes",
+]
+
+
+def bfv_to_ckks(bfv: BfvScheme, ct: RlweCiphertext) -> CkksCiphertext:
+    """Reinterpret a BFV ciphertext as CKKS at scale ``M/t`` (exact).
+
+    No arithmetic is performed: the exact-scaling BFV embedding *is* a
+    CKKS embedding whose scale happens to be the rational ``M/t``.
+    """
+    modulus = ct.basis.product
+    scale = modulus / bfv.params.plain_modulus
+    return CkksCiphertext(ct.copy(), scale, "coeff")
+
+
+def max_exact_message(bfv: BfvScheme, scale: float, augmented: bool = False) -> int:
+    """Largest |m| for which :func:`ckks_to_bfv` recovers ``m`` exactly.
+
+    The alignment factor ``γ = t*k*scale/M`` differs from 1 by at most
+    ``t*scale/(2M)``; rounding stays exact while ``|m|·|γ-1| < 1/2``.
+    """
+    modulus = bfv.params.qp_product if augmented else bfv.params.q_product
+    t = bfv.params.plain_modulus
+    return int(modulus / (t * scale))
+
+
+def ckks_to_bfv(bfv: BfvScheme, ct: CkksCiphertext) -> RlweCiphertext:
+    """Align a coefficient-encoded CKKS ciphertext onto the BFV lattice.
+
+    Multiplies both components by ``k = round(M/(t*scale))`` so the phase
+    becomes ``≈ (M/t)*m + k*e``.  Exact for ``|m| < max_exact_message``.
+    """
+    if ct.encoding != "coeff":
+        raise ValueError("convert coefficient-encoded CKKS ciphertexts")
+    inner = ct.ct
+    modulus = inner.basis.product
+    t = bfv.params.plain_modulus
+    k = int(round(modulus / (t * ct.scale)))
+    if k < 1:
+        raise ValueError(
+            f"scale {ct.scale} exceeds the BFV lattice spacing M/t; "
+            "rescale the CKKS ciphertext first"
+        )
+    c0 = np.stack(
+        [
+            modmul_vec(inner.c0[i], np.uint64(k % q), q)
+            for i, q in enumerate(inner.basis)
+        ]
+    )
+    c1 = np.stack(
+        [
+            modmul_vec(inner.c1[i], np.uint64(k % q), q)
+            for i, q in enumerate(inner.basis)
+        ]
+    )
+    return RlweCiphertext(inner.ctx, inner.basis, c0, c1)

@@ -1,0 +1,195 @@
+"""Key material: secret, public, key-switch and Galois keys.
+
+Key-switch keys follow the RNS-decomposed *hybrid* construction with the
+39-bit special modulus ``p`` (Section II-F): for each ciphertext limb
+``q_i`` the key holds one RLWE sample under the augmented basis ``Qp``
+
+``ksk_i = ( -a_i s + e_i + [p * Q̂_i * (Q̂_i^{-1} mod q_i)]_{Qp} * s_src , a_i )``
+
+so that ``sum_i [c]_{q_i} * ksk_i`` evaluates (under ``s``) to
+``p * c * s_src + sum_i [c]_{q_i} e_i  (mod Qp)`` and a divide-and-round
+by ``p`` recovers ``c * s_src`` with only word-sized noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..math.modular import modadd_vec, modinv, modmul_vec, modneg_vec
+from ..math.polynomial import automorph_permutation
+from ..math.rns import RnsBasis
+from .context import CheContext
+
+__all__ = [
+    "SecretKey",
+    "PublicKey",
+    "KeySwitchKey",
+    "GaloisKeyset",
+    "generate_secret_key",
+    "generate_public_key",
+    "generate_keyswitch_key",
+    "generate_galois_key",
+    "generate_galois_keyset",
+    "pack_galois_elements",
+]
+
+
+@dataclass
+class SecretKey:
+    """Ternary RLWE secret ``s`` with cached per-basis limb/NTT forms."""
+
+    signed: np.ndarray  # (n,) int64 in {-1, 0, 1}
+    _limb_cache: Dict[Tuple[int, ...], np.ndarray] = field(default_factory=dict)
+    _ntt_cache: Dict[Tuple[int, ...], np.ndarray] = field(default_factory=dict)
+
+    def limbs(self, ctx: CheContext, basis: RnsBasis) -> np.ndarray:
+        key = basis.moduli
+        if key not in self._limb_cache:
+            self._limb_cache[key] = ctx.signed_to_limbs(self.signed, basis)
+        return self._limb_cache[key]
+
+    def ntt_limbs(self, ctx: CheContext, basis: RnsBasis) -> np.ndarray:
+        key = basis.moduli
+        if key not in self._ntt_cache:
+            self._ntt_cache[key] = ctx.ntt_limbs(self.limbs(ctx, basis), basis)
+        return self._ntt_cache[key]
+
+    def automorphed(self, k: int) -> "SecretKey":
+        """The secret ``s(X^k)`` (source key of a Galois switch)."""
+        n = self.signed.shape[0]
+        src, flip = automorph_permutation(n, k)
+        out = self.signed[src].copy()
+        out[flip] = -out[flip]
+        return SecretKey(out)
+
+    @property
+    def hamming_weight(self) -> int:
+        return int(np.count_nonzero(self.signed))
+
+
+@dataclass
+class PublicKey:
+    """An encryption of zero under the augmented basis: ``(b, a)``."""
+
+    b: np.ndarray  # (L_aug, n)
+    a: np.ndarray  # (L_aug, n)
+
+
+@dataclass
+class KeySwitchKey:
+    """Hybrid key-switch key: one augmented RLWE pair per ciphertext limb.
+
+    ``b[i], a[i]`` have shape ``(L_aug, n)`` and are stored in the NTT
+    domain (the hardware keeps switching keys resident in transform form;
+    Section III-A stage 5-9).
+    """
+
+    b_ntt: List[np.ndarray]
+    a_ntt: List[np.ndarray]
+
+    @property
+    def decomp_count(self) -> int:
+        return len(self.b_ntt)
+
+
+@dataclass
+class GaloisKeyset:
+    """Galois element -> key-switch key for ``s(X^g) -> s``."""
+
+    keys: Dict[int, KeySwitchKey] = field(default_factory=dict)
+
+    def __contains__(self, g: int) -> bool:
+        return g in self.keys
+
+    def __getitem__(self, g: int) -> KeySwitchKey:
+        if g not in self.keys:
+            raise KeyError(
+                f"missing Galois key for element {g}; generate it with "
+                "generate_galois_keyset(..., elements=[...])"
+            )
+        return self.keys[g]
+
+
+def generate_secret_key(ctx: CheContext) -> SecretKey:
+    """Sample a uniform ternary secret."""
+    return SecretKey(ctx.sample_ternary_signed())
+
+
+def generate_public_key(ctx: CheContext, sk: SecretKey) -> PublicKey:
+    """Standard RLWE public key ``(b, a) = (-(a s) + e, a)`` mod ``Qp``."""
+    basis = ctx.aug_basis
+    a = ctx.sample_uniform(basis)
+    e = ctx.signed_to_limbs(ctx.sample_error_signed(), basis)
+    a_s = ctx.negacyclic_multiply(a, sk.limbs(ctx, basis), basis)
+    b = np.stack(
+        [
+            modadd_vec(modneg_vec(a_s[i], q), e[i], q)
+            for i, q in enumerate(basis)
+        ]
+    )
+    return PublicKey(b=b, a=a)
+
+
+def generate_keyswitch_key(
+    ctx: CheContext, src: SecretKey, dst: SecretKey
+) -> KeySwitchKey:
+    """Key-switch key converting ``c * src`` terms to the key ``dst``."""
+    params = ctx.params
+    aug = ctx.aug_basis
+    p = params.special_modulus
+    qp = params.qp_product
+    src_limbs = src.limbs(ctx, aug)
+    dst_limbs = dst.limbs(ctx, aug)
+
+    b_parts: List[np.ndarray] = []
+    a_parts: List[np.ndarray] = []
+    for i, qi in enumerate(params.ct_moduli):
+        # the CRT "selector" of limb i, scaled by p:  p * Q̂_i * (Q̂_i^{-1} mod q_i)
+        q_hat = params.q_product // qi
+        selector = (p * q_hat * modinv(q_hat % qi, qi)) % qp
+        a = ctx.sample_uniform(aug)
+        e = ctx.signed_to_limbs(ctx.sample_error_signed(), aug)
+        a_s = ctx.negacyclic_multiply(a, dst_limbs, aug)
+        b_limbs = []
+        for j, qj in enumerate(aug):
+            sel_j = np.uint64(selector % qj)
+            term = modmul_vec(src_limbs[j], sel_j, qj)
+            limb = modadd_vec(modadd_vec(modneg_vec(a_s[j], qj), e[j], qj), term, qj)
+            b_limbs.append(limb)
+        b = np.stack(b_limbs)
+        b_parts.append(ctx.ntt_limbs(b, aug))
+        a_parts.append(ctx.ntt_limbs(a, aug))
+    return KeySwitchKey(b_ntt=b_parts, a_ntt=a_parts)
+
+
+def generate_galois_key(ctx: CheContext, sk: SecretKey, g: int) -> KeySwitchKey:
+    """Key-switch key for the automorphism ``X -> X^g``."""
+    return generate_keyswitch_key(ctx, sk.automorphed(g), sk)
+
+
+def pack_galois_elements(n: int, max_count: int = None) -> List[int]:
+    """Galois elements PACKLWES needs: ``2**k + 1`` for each merge level.
+
+    Packing ``m`` ciphertexts uses levels ``k = 1 .. ceil(log2 m)``; the
+    default covers a full pack of ``n`` ciphertexts (``log2 n`` levels).
+    """
+    if max_count is None:
+        levels = n.bit_length() - 1
+    else:
+        levels = max(max_count - 1, 0).bit_length()
+    return [(1 << k) + 1 for k in range(1, levels + 1)]
+
+
+def generate_galois_keyset(
+    ctx: CheContext, sk: SecretKey, elements: List[int] = None
+) -> GaloisKeyset:
+    """Generate the keyset for PACKLWES (all pack levels by default)."""
+    if elements is None:
+        elements = pack_galois_elements(ctx.n)
+    keyset = GaloisKeyset()
+    for g in elements:
+        keyset.keys[g] = generate_galois_key(ctx, sk, g)
+    return keyset

@@ -1,0 +1,87 @@
+"""RNS-hybrid key-switching (the KEYSWITCH unit of Alg. 2 / stage 5-9).
+
+Given a polynomial ``c`` (mod ``Q``) that multiplies a foreign secret
+``s_src`` inside a ciphertext phase, :func:`key_switch_raw` rewrites the
+term onto the native secret ``s``:
+
+1. *decompose*: the RNS limbs ``[c]_{q_i}`` of ``c`` themselves act as the
+   (word-sized) digits — no explicit base-``w`` decomposition is needed;
+2. *inner product* with the switching key in the NTT domain over the
+   augmented basis ``Qp``;
+3. *divide-and-round by p* (an RNS rescale) back to ``Q``.
+
+The noise added is ``≈ sqrt(dnum * n) * max(q_i) * σ / p`` — a few bits
+for CHAM's parameters, which is exactly why the paper budgets the third
+39-bit modulus for key-switching (Section II-F).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..math.modular import modadd_vec, modmul_vec
+from .context import CheContext
+from .keys import KeySwitchKey
+from .rlwe import RlweCiphertext
+
+__all__ = ["key_switch_raw", "apply_keyswitch"]
+
+
+def key_switch_raw(
+    ctx: CheContext, c: np.ndarray, ksk: KeySwitchKey
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Key-switch the polynomial ``c`` (normal-basis limb stack ``(L, n)``).
+
+    Returns ``(d0, d1)``: normal-basis limb stacks such that
+
+    ``d0 + d1 * s  ≈  c * s_src   (mod Q)``
+
+    with word-sized additive noise.
+    """
+    params = ctx.params
+    aug = ctx.aug_basis
+    ct_moduli = params.ct_moduli
+    if c.shape != (len(ct_moduli), ctx.n):
+        raise ValueError(f"expected normal-basis stack, got shape {c.shape}")
+
+    acc0 = np.zeros((len(aug), ctx.n), dtype=np.uint64)
+    acc1 = np.zeros((len(aug), ctx.n), dtype=np.uint64)
+    for i, qi in enumerate(ct_moduli):
+        digit = c[i]  # the i-th RNS digit, an integer in [0, q_i)
+        # broadcast the digit into every augmented limb (it is word-sized,
+        # so plain reduction — not centered — is the correct embedding)
+        digit_limbs = np.stack(
+            [digit % np.uint64(qj) for qj in aug]
+        )
+        digit_ntt = ctx.ntt_limbs(digit_limbs, aug)
+        for j, qj in enumerate(aug):
+            acc0[j] = modadd_vec(
+                acc0[j], modmul_vec(digit_ntt[j], ksk.b_ntt[i][j], qj), qj
+            )
+            acc1[j] = modadd_vec(
+                acc1[j], modmul_vec(digit_ntt[j], ksk.a_ntt[i][j], qj), qj
+            )
+    d0 = aug.rescale_last(ctx.intt_limbs(acc0, aug))
+    d1 = aug.rescale_last(ctx.intt_limbs(acc1, aug))
+    return d0, d1
+
+
+def apply_keyswitch(ct: RlweCiphertext, ksk: KeySwitchKey) -> RlweCiphertext:
+    """Switch a ciphertext decryptable under ``s_src`` to the key ``s``.
+
+    ``ct = (c0, c1)`` with ``c0 + c1 s_src = Δm + e`` becomes
+    ``(c0 + d0, d1)`` with ``d0 + d1 s ≈ c1 s_src``.
+    """
+    ctx = ct.ctx
+    if ct.is_augmented:
+        raise ValueError(
+            "key-switching operates on normal-basis ciphertexts "
+            "(rescale the augmented ciphertext first)"
+        )
+    d0, d1 = key_switch_raw(ctx, ct.c1, ksk)
+    c0 = np.stack(
+        [modadd_vec(ct.c0[i], d0[i], q) for i, q in enumerate(ct.basis)]
+    )
+    return RlweCiphertext(ctx, ct.basis, c0, d1)

@@ -1,0 +1,168 @@
+"""LWE-domain operations: modulus switching and LWE→LWE key switching.
+
+The Chen et al. conversion toolkit [7] the paper builds on covers more
+than extraction and packing: once a value lives in an LWE ciphertext it
+can be *shrunk* — switched to a smaller modulus and to a shorter secret
+— before being shipped or fed to an LWE-native scheme (the TFHE leg of
+the hybrid schemes the paper's introduction mentions).  This module
+implements both primitives over the CHAM parameter family:
+
+* :func:`lwe_modswitch` — rescale an RNS LWE ciphertext from ``Q`` to a
+  single word-sized modulus ``q'`` (round each component); the message
+  scale shrinks from ``Q/t`` to ``q'/t`` and the noise to
+  ``noise * q'/Q + O(||s||_1)``;
+* :class:`LweKeySwitchKey` / :func:`lwe_keyswitch` — re-encrypt under a
+  shorter LWE secret with base-``2^w`` gadget decomposition, the standard
+  dimension-reduction step (e.g. 4096 → 512) that makes LWE ciphertexts
+  cheap to transmit: a switched ciphertext is ``(dim+1)`` words instead
+  of ``2 * L * N``.
+
+Everything here is plain integer arithmetic over vectors; none of it
+needs the ring structure, which is why CHAM leaves these steps to the
+host CPU (they are far below the roofline's memory ridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .context import CheContext
+from .keys import SecretKey
+from .lwe import LweCiphertext
+
+__all__ = [
+    "PlainLwe",
+    "lwe_modswitch",
+    "LweKeySwitchKey",
+    "generate_lwe_keyswitch_key",
+    "lwe_keyswitch",
+    "decrypt_plain_lwe",
+]
+
+
+@dataclass
+class PlainLwe:
+    """A single-modulus LWE ciphertext ``(b, a_vec)`` mod ``q``."""
+
+    q: int
+    b: int
+    a: np.ndarray  # (dim,) object ints in [0, q)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.a.shape[0])
+
+    def __add__(self, other: "PlainLwe") -> "PlainLwe":
+        if self.q != other.q or self.dimension != other.dimension:
+            raise ValueError("LWE mismatch")
+        return PlainLwe(
+            self.q,
+            (self.b + other.b) % self.q,
+            (self.a + other.a) % self.q,
+        )
+
+
+def _round_div(x: int, num: int, den: int) -> int:
+    """round(x * num / den) with exact integer arithmetic."""
+    return (2 * x * num + den) // (2 * den)
+
+
+def lwe_modswitch(lwe: LweCiphertext, q_new: int) -> PlainLwe:
+    """Switch an RNS LWE ciphertext from ``Q = prod(basis)`` down to
+    ``q_new`` (single word) by coordinate-wise rounding."""
+    basis = lwe.basis
+    big_q = basis.product
+    if q_new >= big_q:
+        raise ValueError("modulus switching must go downward")
+    # compose the RNS coordinates exactly (LWE objects are small)
+    b_int = int(basis.compose(lwe.b.reshape(len(basis), 1))[0])
+    a_int = basis.compose(lwe.a)
+    b_new = _round_div(b_int, q_new, big_q) % q_new
+    a_new = np.array(
+        [_round_div(int(v), q_new, big_q) % q_new for v in a_int], dtype=object
+    )
+    return PlainLwe(q=q_new, b=b_new, a=a_new)
+
+
+def decrypt_plain_lwe(
+    ctx: CheContext, sk_vec: np.ndarray, lwe: PlainLwe, t: Optional[int] = None
+) -> int:
+    """Decrypt a single-modulus LWE: ``round(t*(b + <a,s>)/q) mod t``."""
+    t = t if t is not None else ctx.t
+    phase = (lwe.b + int(np.dot(lwe.a, sk_vec.astype(object)))) % lwe.q
+    if phase > lwe.q // 2:
+        phase -= lwe.q
+    m = (2 * phase * t + lwe.q) // (2 * lwe.q) % t
+    return int(m - t) if m > t // 2 else int(m)
+
+
+@dataclass
+class LweKeySwitchKey:
+    """Gadget-decomposed LWE→LWE switching key.
+
+    ``key[i][d]`` encrypts ``2^(d*w) * s_src[i]`` under the destination
+    secret: shape ``(src_dim, digits)`` of :class:`PlainLwe`.
+    """
+
+    q: int
+    base_bits: int
+    digits: int
+    dst_dim: int
+    b: np.ndarray  # (src_dim, digits) object
+    a: np.ndarray  # (src_dim, digits, dst_dim) object
+
+
+def generate_lwe_keyswitch_key(
+    ctx: CheContext,
+    src_key: np.ndarray,
+    dst_key: np.ndarray,
+    q: int,
+    base_bits: int = 7,
+    sigma: float = 3.2,
+) -> LweKeySwitchKey:
+    """Switching key from secret vector ``src_key`` to ``dst_key`` mod ``q``."""
+    src_dim = src_key.shape[0]
+    dst_dim = dst_key.shape[0]
+    digits = -(-q.bit_length() // base_bits)
+    rng = ctx.rng
+    b = np.empty((src_dim, digits), dtype=object)
+    a = np.empty((src_dim, digits, dst_dim), dtype=object)
+    dst_obj = dst_key.astype(object)
+    for i in range(src_dim):
+        for d in range(digits):
+            mask = rng.integers(0, q, dst_dim, dtype=np.uint64).astype(object) % q
+            e = int(np.rint(rng.normal(0.0, sigma)))
+            msg = (int(src_key[i]) << (d * base_bits)) % q
+            b[i, d] = (msg + e - int(np.dot(mask, dst_obj))) % q
+            a[i, d] = mask
+    return LweKeySwitchKey(
+        q=q, base_bits=base_bits, digits=digits, dst_dim=dst_dim, b=b, a=a
+    )
+
+
+def lwe_keyswitch(lwe: PlainLwe, ksk: LweKeySwitchKey) -> PlainLwe:
+    """Re-encrypt ``lwe`` under the key-switch key's destination secret.
+
+    Decomposes each mask coordinate into base-``2^w`` digits and takes
+    the inner product with the switching key; noise grows by
+    ``src_dim * digits * 2^(w-1) * sigma`` — a few bits for the defaults.
+    """
+    if lwe.q != ksk.q:
+        raise ValueError("modulus mismatch between ciphertext and key")
+    q = lwe.q
+    base = 1 << ksk.base_bits
+    b_acc = lwe.b
+    a_acc = np.zeros(ksk.dst_dim, dtype=object)
+    for i in range(lwe.dimension):
+        coeff = int(lwe.a[i])
+        for d in range(ksk.digits):
+            digit = (coeff >> (d * ksk.base_bits)) & (base - 1)
+            if digit == 0:
+                continue
+            # subtract digit * Enc(2^(dw) * s_src[i]) to cancel <a, s_src>
+            b_acc = (b_acc + digit * int(ksk.b[i, d])) % q
+            a_acc = (a_acc + digit * ksk.a[i, d]) % q
+    return PlainLwe(q=q, b=b_acc, a=a_acc)

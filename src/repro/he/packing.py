@@ -1,0 +1,133 @@
+"""PACKTWOLWES / PACKLWES — Algorithms 2 and 3 of the paper.
+
+``pack_lwes`` folds ``m`` LWE ciphertexts (each holding a dot-product
+result in its constant coefficient, Eq. 3 form) into a *single* RLWE
+ciphertext whose plaintext carries value ``i`` at coefficient
+``i * N / 2**ceil(log2 m)``.
+
+The merge at level ``k`` (combining two packs of ``2**(k-1)`` into one of
+``2**k``) is Algorithm 2:
+
+1. ``ct_mono = ct_odd * X^(N / 2**k)``             (MULTMONO)
+2. ``ct_plus = ct_even + ct_mono``                 (MODADD)
+3. ``ct_minus = ct_even - ct_mono``                (MODSUB)
+4. ``ct_auto = automorph(ct_minus, g = 2**k + 1)`` (AUTOMORPH)
+5. ``return ct_plus + keyswitch(ct_auto)``         (KEYSWITCH)
+
+Correctness: the Galois element ``g = 2**k + 1`` maps slot position
+``j * N / 2**k`` to itself with sign ``(-1)^j``, so the sum keeps the even
+slots from ``ct_plus`` and the odd slots from ``ct_mono`` — doubling every
+slot.  A full pack therefore scales the packed messages by
+``2**ceil(log2 m)``; the factor is removed *after decryption*, mod the odd
+plaintext modulus ``t`` (see ``CoefficientEncoder.decode_packed``), at the
+cost of ``ceil(log2 m)`` bits of noise budget.
+
+Packing 4096 rows issues exactly 4095 PACKTWOLWES reductions — the binary
+tree the paper's reduce buffer walks (Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .automorphism import apply_automorphism
+from .keys import GaloisKeyset
+from .lwe import LweCiphertext, lwe_to_rlwe
+from .rlwe import RlweCiphertext
+
+__all__ = ["PackedResult", "pack_two_lwes", "pack_lwes", "pack_reduction_count"]
+
+
+@dataclass
+class PackedResult:
+    """A packed RLWE ciphertext plus its bookkeeping.
+
+    Attributes
+    ----------
+    ct:
+        The packed ciphertext (normal basis).
+    count:
+        Number of source LWE ciphertexts (before zero-padding).
+    scale_pow2:
+        The pack multiplied every message by ``2**scale_pow2``.
+    reductions:
+        Number of PACKTWOLWES invocations performed (paper: ``m - 1`` for
+        a power-of-two ``m``).
+    """
+
+    ct: RlweCiphertext
+    count: int
+    scale_pow2: int
+    reductions: int
+
+    @property
+    def slot_stride(self) -> int:
+        return self.ct.ctx.n >> self.scale_pow2
+
+
+def pack_two_lwes(
+    level: int,
+    ct_even: RlweCiphertext,
+    ct_odd: RlweCiphertext,
+    galois_keys: GaloisKeyset,
+) -> RlweCiphertext:
+    """Algorithm 2: merge two level-``(k-1)`` packs into a level-``k`` pack."""
+    n = ct_even.ctx.n
+    stride = n >> level
+    if stride < 1:
+        raise ValueError(f"level {level} exceeds log2(n)={n.bit_length() - 1}")
+    g = (1 << level) + 1
+    ct_mono = ct_odd.multiply_monomial(stride)
+    ct_plus = ct_even + ct_mono
+    ct_minus = ct_even - ct_mono
+    ct_auto = apply_automorphism(ct_minus, g, galois_keys)
+    return ct_plus + ct_auto
+
+
+def pack_lwes(
+    lwes: Sequence[LweCiphertext],
+    galois_keys: GaloisKeyset,
+) -> PackedResult:
+    """Algorithm 3: recursively pack ``m`` LWE ciphertexts into one RLWE.
+
+    Inputs are zero-padded to the next power of two with transparent
+    zero ciphertexts, which is exact (zero message, zero noise).
+    """
+    if not lwes:
+        raise ValueError("nothing to pack")
+    ctx = lwes[0].ctx
+    rlwes: List[RlweCiphertext] = [lwe_to_rlwe(lwe) for lwe in lwes]
+    count = len(rlwes)
+    levels = max(count - 1, 0).bit_length()
+    target = 1 << levels
+    if target > ctx.n:
+        raise ValueError(f"cannot pack {count} > ring degree {ctx.n}")
+    basis = rlwes[0].basis
+    while len(rlwes) < target:
+        rlwes.append(RlweCiphertext.zero(ctx, basis))
+
+    stats = {"reductions": 0}
+
+    def recurse(items: List[RlweCiphertext]) -> RlweCiphertext:
+        # Algorithm 3: split by index parity so slot order comes out natural
+        if len(items) == 1:
+            return items[0]
+        level = len(items).bit_length() - 1
+        ct_even = recurse(items[0::2])
+        ct_odd = recurse(items[1::2])
+        stats["reductions"] += 1
+        return pack_two_lwes(level, ct_even, ct_odd, galois_keys)
+
+    packed = recurse(rlwes)
+    return PackedResult(
+        ct=packed, count=count, scale_pow2=levels, reductions=stats["reductions"]
+    )
+
+
+def pack_reduction_count(m: int) -> int:
+    """PACKTWOLWES invocations to pack ``m`` inputs (paper: 4095 for 4096)."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    levels = max(m - 1, 0).bit_length()
+    return (1 << levels) - 1

@@ -1,0 +1,127 @@
+"""Parameter-set generation beyond the paper's fixed point.
+
+CHAM hard-wires one parameter set (§II-F); the natural extension — and
+what a deployment team asks for first — is regenerating the same *style*
+of parameters for other operating points: a larger ring for deeper
+circuits, more limbs for more plaintext headroom, a different
+key-switching margin.  :func:`generate_params` searches for
+
+* low-Hamming-weight (three set bits), NTT-friendly ciphertext primes of
+  the requested widths — the property that makes CHAM's modular
+  reduction three shift-adds;
+* a dominating special modulus for hybrid key-switching;
+* an odd (prime) plaintext modulus sized to the requested precision;
+
+and validates the result against the HE-standard security table.  The
+paper's production set falls out of ``generate_params(4096, (35, 35),
+39, 40)`` exactly, which the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..math.primes import find_low_hamming_ntt_prime, find_ntt_prime, is_ntt_friendly
+from .params import CheParams, SECURITY_TABLE, default_plain_modulus, estimate_security
+
+__all__ = ["ParamRequest", "generate_params", "low_hamming_prime_menu"]
+
+
+@dataclass(frozen=True)
+class ParamRequest:
+    """What the caller needs from a parameter set."""
+
+    n: int = 4096
+    ct_modulus_bits: Tuple[int, ...] = (35, 35)
+    special_bits: int = 39
+    plain_bits: int = 40
+    min_security: int = 128
+
+    def total_bits(self) -> int:
+        return sum(self.ct_modulus_bits) + self.special_bits
+
+
+def _distinct_low_hamming_primes(bits: int, n: int, count: int) -> List[int]:
+    """Up to ``count`` distinct weight-3 NTT primes of width ``bits``.
+
+    The weight-3 family ``2^(bits-1) + 2^e + 1`` is sparse; when it runs
+    out we fall back to generic NTT primes of the same width (documented
+    degradation: reduction needs Barrett instead of shift-adds).
+    """
+    log2n = (2 * n).bit_length() - 1
+    found: List[int] = []
+    for e in range(log2n, bits - 1):
+        q = (1 << (bits - 1)) + (1 << e) + 1
+        if is_ntt_friendly(q, n):
+            found.append(q)
+            if len(found) == count:
+                return found
+    skip = 0
+    while len(found) < count:
+        q = find_ntt_prime(bits, n, skip=skip)
+        if q not in found:
+            found.append(q)
+        skip += 1
+    return found
+
+
+def low_hamming_prime_menu(n: int, bits_range: Sequence[int]) -> dict:
+    """All weight-3 NTT primes per width — the hardware designer's menu."""
+    out = {}
+    log2n = (2 * n).bit_length() - 1
+    for bits in bits_range:
+        primes = []
+        for e in range(log2n, bits - 1):
+            q = (1 << (bits - 1)) + (1 << e) + 1
+            if is_ntt_friendly(q, n):
+                primes.append(q)
+        out[bits] = primes
+    return out
+
+
+def generate_params(request: ParamRequest = ParamRequest()) -> CheParams:
+    """Search a CHAM-style parameter set for the request.
+
+    Raises ``ValueError`` when the request cannot reach the required
+    security level at the given ring size (the caller should grow ``n``).
+    """
+    n = request.n
+    if n not in SECURITY_TABLE and n >= 1024:
+        raise ValueError(f"no security data for n={n}")
+    if n >= 1024:
+        projected = estimate_security(n, request.total_bits())
+        if projected < request.min_security:
+            raise ValueError(
+                f"{request.total_bits()}-bit modulus at n={n} gives only "
+                f"~{projected}-bit security (< {request.min_security}); "
+                "increase n or shrink the moduli"
+            )
+
+    # group equal widths so duplicates are avoided within a width class
+    by_width: dict = {}
+    for bits in request.ct_modulus_bits:
+        by_width[bits] = by_width.get(bits, 0) + 1
+    primes_by_width = {
+        bits: _distinct_low_hamming_primes(bits, n, count)
+        for bits, count in by_width.items()
+    }
+    ct_moduli: List[int] = []
+    cursor = {bits: 0 for bits in by_width}
+    for bits in request.ct_modulus_bits:
+        ct_moduli.append(primes_by_width[bits][cursor[bits]])
+        cursor[bits] += 1
+
+    try:
+        special = find_low_hamming_ntt_prime(request.special_bits, n)
+    except ValueError:
+        special = find_ntt_prime(request.special_bits, n)
+    if special in ct_moduli:
+        special = find_ntt_prime(request.special_bits, n, skip=1)
+
+    return CheParams(
+        n=n,
+        ct_moduli=tuple(ct_moduli),
+        special_modulus=special,
+        plain_modulus=default_plain_modulus(request.plain_bits),
+    )

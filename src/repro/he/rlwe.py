@@ -1,0 +1,340 @@
+"""RLWE ciphertexts and the basic homomorphic operations.
+
+A ciphertext is the pair ``(b, a) = (c0, c1)`` with decryption invariant
+
+``c0 + c1 * s  =  round(M * m / t) + e   (mod M)``
+
+where ``M`` is the basis product — ``Q = q0*q1`` in the *normal* basis and
+``Qp`` in the *augmented* basis.  The message is embedded with the *exact*
+scale ``M/t`` (per-coefficient rounding) rather than ``floor(M/t)``; this
+is the scale-invariant BFV-RNS encoding and avoids the classical
+``m * (M mod t) / M`` invariant-noise term, which for CHAM's production
+plaintext modulus (``t ≈ 2**40`` against ``Q ≈ 2**70``) would otherwise
+dominate the budget.
+
+The augmented form is the one CHAM's DOTPRODUCT stage consumes (six
+polynomials); after the plaintext product, the stage-4 RESCALE divides by
+``p``, returning a normal-basis ciphertext (four polynomials) and, in the
+same sweep, knocking the multiplication noise down (the paper's
+30 bit → 26 bit claim, measured in ``benchmarks/bench_noise.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..math.modular import (
+    modadd_vec,
+    modmul_vec,
+    modneg_vec,
+    modsub_vec,
+)
+from ..math.polynomial import automorph, monomial_multiply
+from ..math.rns import RnsBasis
+from .context import CheContext
+from .encoder import Plaintext
+from .keys import PublicKey, SecretKey
+
+__all__ = [
+    "RlweCiphertext",
+    "encrypt",
+    "encrypt_pk",
+    "decrypt",
+    "plaintext_limbs",
+    "scaled_plaintext_limbs",
+]
+
+
+def plaintext_limbs(ctx: CheContext, pt: Plaintext, basis: RnsBasis) -> np.ndarray:
+    """Reduce the *centered* plaintext coefficients into each limb.
+
+    Centering matters: a coefficient ``t - 1`` means ``-1``, and encoding
+    it as the huge positive residue would wreck the noise growth of
+    plaintext multiplication.
+    """
+    return ctx.signed_to_limbs(pt.centered(), basis)
+
+
+def scaled_plaintext_limbs(
+    ctx: CheContext, pt: Plaintext, basis: RnsBasis
+) -> np.ndarray:
+    """Limbs of ``round(M * m_centered / t)`` — the message embedding.
+
+    Computed exactly over bigints (encryption is not a hot path); the
+    rounding error of at most 1/2 per coefficient is the only residue the
+    exact scaling leaves behind.
+    """
+    modulus = basis.product
+    t = ctx.t
+    centered = pt.centered().astype(object)
+    scaled = [(2 * modulus * int(c) + t) // (2 * t) for c in centered]
+    return ctx.limbs_for(scaled, basis)
+
+
+@dataclass
+class RlweCiphertext:
+    """An RLWE ciphertext ``(c0, c1)`` over an RNS basis.
+
+    Attributes
+    ----------
+    ctx:
+        Owning context.
+    basis:
+        Either ``ctx.ct_basis`` (normal) or ``ctx.aug_basis`` (augmented).
+    c0, c1:
+        Limb stacks of shape ``(len(basis), n)``, coefficient domain.
+    """
+
+    ctx: CheContext
+    basis: RnsBasis
+    c0: np.ndarray
+    c1: np.ndarray
+
+    def __post_init__(self) -> None:
+        expect = (len(self.basis), self.ctx.n)
+        for name, comp in (("c0", self.c0), ("c1", self.c1)):
+            if comp.shape != expect:
+                raise ValueError(f"{name} shape {comp.shape} != {expect}")
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def is_augmented(self) -> bool:
+        return len(self.basis) == len(self.ctx.aug_basis)
+
+    @property
+    def delta(self) -> int:
+        """Nominal message scaling factor ``floor(M/t)`` (reporting only;
+        the exact embedded scale is the rational ``M/t``)."""
+        return self.basis.product // self.ctx.t
+
+    @property
+    def poly_count(self) -> int:
+        """Number of single-modulus polynomials (the paper's accounting)."""
+        return 2 * len(self.basis)
+
+    def copy(self) -> "RlweCiphertext":
+        return RlweCiphertext(self.ctx, self.basis, self.c0.copy(), self.c1.copy())
+
+    @classmethod
+    def zero(cls, ctx: CheContext, basis: RnsBasis) -> "RlweCiphertext":
+        """The transparent encryption of zero (used to pad PACKLWES)."""
+        shape = (len(basis), ctx.n)
+        return cls(ctx, basis, np.zeros(shape, np.uint64), np.zeros(shape, np.uint64))
+
+    def _check(self, other: "RlweCiphertext") -> None:
+        if self.basis.moduli != other.basis.moduli:
+            raise ValueError("ciphertext basis mismatch")
+
+    # -- linear homomorphisms -------------------------------------------------------
+
+    def __add__(self, other: "RlweCiphertext") -> "RlweCiphertext":
+        self._check(other)
+        c0 = np.stack(
+            [modadd_vec(self.c0[i], other.c0[i], q) for i, q in enumerate(self.basis)]
+        )
+        c1 = np.stack(
+            [modadd_vec(self.c1[i], other.c1[i], q) for i, q in enumerate(self.basis)]
+        )
+        return RlweCiphertext(self.ctx, self.basis, c0, c1)
+
+    def __sub__(self, other: "RlweCiphertext") -> "RlweCiphertext":
+        self._check(other)
+        c0 = np.stack(
+            [modsub_vec(self.c0[i], other.c0[i], q) for i, q in enumerate(self.basis)]
+        )
+        c1 = np.stack(
+            [modsub_vec(self.c1[i], other.c1[i], q) for i, q in enumerate(self.basis)]
+        )
+        return RlweCiphertext(self.ctx, self.basis, c0, c1)
+
+    def __neg__(self) -> "RlweCiphertext":
+        c0 = np.stack([modneg_vec(self.c0[i], q) for i, q in enumerate(self.basis)])
+        c1 = np.stack([modneg_vec(self.c1[i], q) for i, q in enumerate(self.basis)])
+        return RlweCiphertext(self.ctx, self.basis, c0, c1)
+
+    def add_plain(self, pt: Plaintext) -> "RlweCiphertext":
+        """Add ``pt`` to the message (embedded at the exact ``M/t`` scale)."""
+        limbs = scaled_plaintext_limbs(self.ctx, pt, self.basis)
+        c0 = np.stack(
+            [
+                modadd_vec(self.c0[i], limbs[i], q)
+                for i, q in enumerate(self.basis)
+            ]
+        )
+        return RlweCiphertext(self.ctx, self.basis, c0, self.c1.copy())
+
+    def multiply_plain(self, pt: Plaintext) -> "RlweCiphertext":
+        """Plaintext-ciphertext product (CHAM pipeline stages 1-3).
+
+        Both components go through NTT, a coefficient-wise product with
+        the NTT of the plaintext, and INTT — exactly the DOTPRODUCT module
+        when ``pt`` is a row encoding (Eq. 2).
+        """
+        limbs = plaintext_limbs(self.ctx, pt, self.basis)
+        pt_ntt = self.ctx.ntt_limbs(limbs, self.basis)
+        out = []
+        for comp in (self.c0, self.c1):
+            comp_ntt = self.ctx.ntt_limbs(comp, self.basis)
+            prod = np.stack(
+                [
+                    modmul_vec(comp_ntt[i], pt_ntt[i], q)
+                    for i, q in enumerate(self.basis)
+                ]
+            )
+            out.append(self.ctx.intt_limbs(prod, self.basis))
+        return RlweCiphertext(self.ctx, self.basis, out[0], out[1])
+
+    def multiply_scalar(self, value: int) -> "RlweCiphertext":
+        """Multiply message (and noise) by a small integer scalar."""
+        c0 = np.stack(
+            [modmul_vec(self.c0[i], np.uint64(value % q), q) for i, q in enumerate(self.basis)]
+        )
+        c1 = np.stack(
+            [modmul_vec(self.c1[i], np.uint64(value % q), q) for i, q in enumerate(self.basis)]
+        )
+        return RlweCiphertext(self.ctx, self.basis, c0, c1)
+
+    # -- PPU operations on ciphertexts (Table I, lifted per-component) ---------------
+
+    def multiply_monomial(self, exponent: int) -> "RlweCiphertext":
+        """MULTMONO: multiply by ``X^exponent`` (noise-free)."""
+        c0 = np.stack(
+            [monomial_multiply(self.c0[i], exponent, q) for i, q in enumerate(self.basis)]
+        )
+        c1 = np.stack(
+            [monomial_multiply(self.c1[i], exponent, q) for i, q in enumerate(self.basis)]
+        )
+        return RlweCiphertext(self.ctx, self.basis, c0, c1)
+
+    def automorph_raw(self, g: int) -> "RlweCiphertext":
+        """AUTOMORPH both components; the result decrypts under ``s(X^g)``.
+
+        Callers must key-switch back to ``s`` (see
+        :func:`repro.he.automorphism.apply_automorphism`).
+        """
+        c0 = np.stack([automorph(self.c0[i], g, q) for i, q in enumerate(self.basis)])
+        c1 = np.stack([automorph(self.c1[i], g, q) for i, q in enumerate(self.basis)])
+        return RlweCiphertext(self.ctx, self.basis, c0, c1)
+
+    # -- rescale (pipeline stage 4) ----------------------------------------------------
+
+    def rescale(self) -> "RlweCiphertext":
+        """Divide-and-round by the special modulus: augmented -> normal.
+
+        ``(c0, c1) mod Qp  ->  (round(c0/p), round(c1/p)) mod Q``; the
+        message scale drops from ``Δ_aug ≈ Δ * p`` to ``Δ`` and the
+        accumulated multiplication noise is divided by ``p``.
+        """
+        if not self.is_augmented:
+            raise ValueError("rescale applies to augmented ciphertexts only")
+        c0 = self.basis.rescale_last(self.c0)
+        c1 = self.basis.rescale_last(self.c1)
+        return RlweCiphertext(self.ctx, self.ctx.ct_basis, c0, c1)
+
+    # -- circuit privacy ----------------------------------------------------------------
+
+    def flood_noise(self, bits: int) -> "RlweCiphertext":
+        """Add uniform noise of ``bits`` bits (noise flooding).
+
+        In the two-party protocol of Section II-F, party B returns a
+        ciphertext whose noise is a deterministic function of B's secret
+        matrix; flooding with noise exponentially larger than the
+        computation noise statistically hides it from party A (the
+        standard circuit-privacy countermeasure for Cheetah-style
+        protocols).  Costs ``bits`` of budget; the caller must keep
+        ``bits`` below the remaining margin.
+        """
+        ctx = self.ctx
+        flood = ctx.rng.integers(
+            -(1 << bits), (1 << bits) + 1, ctx.n, dtype=np.int64
+        )
+        limbs = ctx.signed_to_limbs(flood, self.basis)
+        c0 = np.stack(
+            [modadd_vec(self.c0[i], limbs[i], q) for i, q in enumerate(self.basis)]
+        )
+        return RlweCiphertext(ctx, self.basis, c0, self.c1.copy())
+
+    # -- decryption helpers --------------------------------------------------------------
+
+    def phase(self, sk: SecretKey) -> np.ndarray:
+        """``c0 + c1 * s`` as exact centered bigints (noise analysis)."""
+        s = sk.limbs(self.ctx, self.basis)
+        c1s = self.ctx.negacyclic_multiply(self.c1, s, self.basis)
+        total = np.stack(
+            [modadd_vec(self.c0[i], c1s[i], q) for i, q in enumerate(self.basis)]
+        )
+        return self.basis.compose_centered(total)
+
+
+def encrypt(
+    ctx: CheContext,
+    sk: SecretKey,
+    pt: Plaintext,
+    augmented: bool = True,
+    error_std: Optional[float] = None,
+) -> RlweCiphertext:
+    """Symmetric encryption: ``( -(a s) + Δ m + e , a )``.
+
+    ``augmented=True`` (the default) produces the six-polynomial form the
+    CHAM dot-product pipeline ingests; ``augmented=False`` the four-
+    polynomial wire format.
+    """
+    basis = ctx.aug_basis if augmented else ctx.ct_basis
+    a = ctx.sample_uniform(basis)
+    e = ctx.signed_to_limbs(ctx.sample_error_signed(error_std), basis)
+    s = sk.limbs(ctx, basis)
+    a_s = ctx.negacyclic_multiply(a, s, basis)
+    m_limbs = scaled_plaintext_limbs(ctx, pt, basis)
+    c0 = np.stack(
+        [
+            modadd_vec(
+                modadd_vec(modneg_vec(a_s[i], q), e[i], q), m_limbs[i], q
+            )
+            for i, q in enumerate(basis)
+        ]
+    )
+    return RlweCiphertext(ctx, basis, c0, a)
+
+
+def encrypt_pk(
+    ctx: CheContext, pk: PublicKey, pt: Plaintext, augmented: bool = True
+) -> RlweCiphertext:
+    """Public-key encryption: ``(pk0 u + e1 + Δ m, pk1 u + e2)``."""
+    basis = ctx.aug_basis if augmented else ctx.ct_basis
+    limbs = len(basis)
+    u = ctx.signed_to_limbs(ctx.sample_ternary_signed(), basis)
+    e1 = ctx.signed_to_limbs(ctx.sample_error_signed(), basis)
+    e2 = ctx.signed_to_limbs(ctx.sample_error_signed(), basis)
+    m_limbs = scaled_plaintext_limbs(ctx, pt, basis)
+    pk0 = pk.b[:limbs]
+    pk1 = pk.a[:limbs]
+    pk0_u = ctx.negacyclic_multiply(pk0, u, basis)
+    pk1_u = ctx.negacyclic_multiply(pk1, u, basis)
+    c0 = np.stack(
+        [
+            modadd_vec(
+                modadd_vec(pk0_u[i], e1[i], q), m_limbs[i], q
+            )
+            for i, q in enumerate(basis)
+        ]
+    )
+    c1 = np.stack([modadd_vec(pk1_u[i], e2[i], q) for i, q in enumerate(basis)])
+    return RlweCiphertext(ctx, basis, c0, c1)
+
+
+def decrypt(ctx: CheContext, sk: SecretKey, ct: RlweCiphertext) -> Plaintext:
+    """BFV decryption: ``round(t * phase / (basis product)) mod t``."""
+    phase = ct.phase(sk)
+    modulus = ct.basis.product
+    t = ctx.t
+    coeffs = np.empty(ctx.n, dtype=np.uint64)
+    for i, v in enumerate(phase):
+        num = int(v) * t
+        # round-to-nearest division, correct for negative numerators
+        m = (2 * num + modulus) // (2 * modulus)
+        coeffs[i] = m % t
+    return Plaintext(coeffs, t)

@@ -1,0 +1,145 @@
+"""Floorplanning model for the VU9P's three SLRs (Fig. 5).
+
+The VU9P is a three-die (SLR) stacked device; Fig. 5 shows CHAM's
+floorplan with the two compute engines placed in separate SLRs and the
+platform (shell) occupying the middle die's PCIe column.  This module
+models that placement problem coarsely:
+
+* each SLR holds one third of every resource class;
+* a module assigned to an SLR consumes its resources there; per-SLR
+  utilization must stay below the P&R threshold (the same 75 % rule,
+  but now *per die*, which is what actually kills timing closure);
+* signals crossing between SLRs pay super-long-line (SLL) channels —
+  the engines' independence means CHAM only crosses for the platform
+  interface, which is why the two-engine split works at 300 MHz.
+
+:func:`plan_cham` reproduces the paper's placement and verifies it; the
+greedy :func:`auto_floorplan` shows the placement is essentially forced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .arch import ChamConfig, FpgaDevice, VU9P, cham_default_config
+from .resources import ResourceVector, engine_resources, platform_resources
+
+__all__ = ["SlrPlan", "plan_cham", "auto_floorplan", "SLR_COUNT"]
+
+SLR_COUNT = 3
+
+#: SLL crossings consumed by each inter-SLR interface class
+_SLL_PER_ENGINE_LINK = 1_200  # engine <-> platform data/control
+_SLL_CAPACITY_PER_BOUNDARY = 17_280  # VU9P SLL channels per boundary
+
+
+@dataclass
+class SlrPlan:
+    """A module -> SLR assignment with derived feasibility checks."""
+
+    device: FpgaDevice
+    assignment: Dict[str, int]
+    modules: Dict[str, ResourceVector]
+    #: per-die thresholds: logic must leave P&R headroom, while RAM/DSP
+    #: columns can run hotter inside one die (they are placed, not routed)
+    max_util: Dict[str, float] = field(
+        default_factory=lambda: {
+            "LUT": 0.75,
+            "FF": 0.75,
+            "BRAM": 0.95,
+            "URAM": 0.95,
+            "DSP": 0.85,
+        }
+    )
+
+    def slr_resources(self) -> List[ResourceVector]:
+        totals = [ResourceVector() for _ in range(SLR_COUNT)]
+        for name, slr in self.assignment.items():
+            totals[slr] = totals[slr] + self.modules[name]
+        return totals
+
+    def slr_capacity(self) -> ResourceVector:
+        d = self.device
+        return ResourceVector(
+            lut=d.luts // SLR_COUNT,
+            ff=d.ffs // SLR_COUNT,
+            bram=d.bram36 // SLR_COUNT,
+            uram=d.urams // SLR_COUNT,
+            dsp=d.dsps // SLR_COUNT,
+        )
+
+    def slr_utilizations(self) -> List[Dict[str, float]]:
+        cap = self.slr_capacity()
+        out = []
+        for total in self.slr_resources():
+            out.append(
+                {
+                    "LUT": total.lut / cap.lut,
+                    "FF": total.ff / cap.ff,
+                    "BRAM": total.bram / cap.bram,
+                    "URAM": total.uram / max(cap.uram, 1),
+                    "DSP": total.dsp / cap.dsp,
+                }
+            )
+        return out
+
+    def feasible(self) -> bool:
+        return all(
+            v <= self.max_util[key]
+            for util in self.slr_utilizations()
+            for key, v in util.items()
+        )
+
+    def sll_crossings(self) -> int:
+        """SLL channels used: one engine<->platform link per boundary hop."""
+        plat_slr = self.assignment.get("platform")
+        crossings = 0
+        for name, slr in self.assignment.items():
+            if name == "platform":
+                continue
+            crossings += abs(slr - plat_slr) * _SLL_PER_ENGINE_LINK
+        return crossings
+
+    def sll_feasible(self) -> bool:
+        # the worst boundary carries at most all crossings in this model
+        return self.sll_crossings() <= _SLL_CAPACITY_PER_BOUNDARY
+
+
+def _cham_modules(cfg: ChamConfig) -> Dict[str, ResourceVector]:
+    modules = {"platform": platform_resources()}
+    for i in range(cfg.engines):
+        modules[f"engine{i}"] = engine_resources(cfg.engine)
+    return modules
+
+
+def plan_cham(cfg: Optional[ChamConfig] = None) -> SlrPlan:
+    """The paper's Fig. 5 placement: engines in the outer SLRs, the
+    platform (PCIe shell) in the middle die."""
+    cfg = cfg or cham_default_config()
+    modules = _cham_modules(cfg)
+    assignment = {"platform": 1}
+    outer = [0, 2, 1]  # third engine (if any) shares the middle die
+    for i in range(cfg.engines):
+        assignment[f"engine{i}"] = outer[i % len(outer)]
+    return SlrPlan(device=VU9P, assignment=assignment, modules=modules)
+
+
+def auto_floorplan(cfg: Optional[ChamConfig] = None) -> SlrPlan:
+    """Greedy placement: biggest module first into the emptiest SLR,
+    platform pinned to the middle die (its PCIe pins live there)."""
+    cfg = cfg or cham_default_config()
+    modules = _cham_modules(cfg)
+    assignment = {"platform": 1}
+    loads = [0.0] * SLR_COUNT
+    plat = modules["platform"]
+    loads[1] += plat.lut
+    names = sorted(
+        (n for n in modules if n != "platform"),
+        key=lambda n: -modules[n].lut,
+    )
+    for name in names:
+        slr = min(range(SLR_COUNT), key=lambda s: loads[s])
+        assignment[name] = slr
+        loads[slr] += modules[name].lut
+    return SlrPlan(device=VU9P, assignment=assignment, modules=modules)

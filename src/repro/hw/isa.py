@@ -1,0 +1,163 @@
+"""Command-stream interface between the runtime and the accelerator.
+
+The paper's Section III-C describes "a software stack with runtime and
+driver ... to support high-level application".  This module models the
+driver's job description format: a host-side *compiler* lowers an HMVP
+job into the command stream the engines consume, and an *executor*
+replays a stream against the virtual device with cycle accounting that
+agrees with the macro-pipeline simulator.
+
+The command set mirrors the pipeline's units:
+
+========================  =====================================================
+``LOAD_VECTOR``           DMA one augmented vector-ciphertext tile + forward NTT
+``LOAD_KSK``              stage the pack-tree switching keys (resident)
+``DOT_PRODUCT``           stages 1-4 for one row (plaintext streamed)
+``LWE_AGGREGATE``         add a partial LWE into the row accumulator (col tiles)
+``PACK_REDUCE``           one PACKTWOLWES reduction (stages 5-9)
+``READ_RESULT``           DMA the packed ciphertext back
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from .arch import ChamConfig, cham_default_config
+from .pipeline import MacroPipeline
+
+__all__ = ["Opcode", "Command", "CommandStream", "compile_hmvp", "StreamExecutor"]
+
+
+class Opcode(Enum):
+    LOAD_VECTOR = "load_vector"
+    LOAD_KSK = "load_ksk"
+    DOT_PRODUCT = "dot_product"
+    LWE_AGGREGATE = "lwe_aggregate"
+    PACK_REDUCE = "pack_reduce"
+    READ_RESULT = "read_result"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One driver command with its operand indices."""
+
+    opcode: Opcode
+    #: row index for DOT_PRODUCT/LWE_AGGREGATE, tree level for PACK_REDUCE,
+    #: tile index for LOAD_VECTOR
+    operand: int = 0
+    tile: int = 0
+
+
+@dataclass
+class CommandStream:
+    """An ordered command list plus its static properties."""
+
+    commands: List[Command] = field(default_factory=list)
+    rows: int = 0
+    col_tiles: int = 1
+
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for c in self.commands if c.opcode is opcode)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def compile_hmvp(rows: int, col_tiles: int = 1) -> CommandStream:
+    """Lower one HMVP job into the driver command stream.
+
+    Command counts are exactly the functional pipeline's op counts:
+    ``col_tiles`` vector loads, ``rows * col_tiles`` dot products,
+    ``rows * (col_tiles - 1)`` aggregations, ``2^ceil(log2 rows) - 1``
+    pack reductions (4095 for 4096 rows), one key load, one readback.
+    """
+    if rows < 1 or col_tiles < 1:
+        raise ValueError("rows and col_tiles must be positive")
+    stream = CommandStream(rows=rows, col_tiles=col_tiles)
+    cmds = stream.commands
+    cmds.append(Command(Opcode.LOAD_KSK))
+    for tile in range(col_tiles):
+        cmds.append(Command(Opcode.LOAD_VECTOR, operand=tile, tile=tile))
+    for row in range(rows):
+        for tile in range(col_tiles):
+            cmds.append(Command(Opcode.DOT_PRODUCT, operand=row, tile=tile))
+            if tile > 0:
+                cmds.append(Command(Opcode.LWE_AGGREGATE, operand=row, tile=tile))
+    levels = max(rows - 1, 0).bit_length()
+    reductions_per_level = [
+        (1 << levels) >> (lvl + 1) for lvl in range(levels)
+    ]
+    for lvl, count in enumerate(reductions_per_level):
+        for _ in range(count):
+            cmds.append(Command(Opcode.PACK_REDUCE, operand=lvl + 1))
+    cmds.append(Command(Opcode.READ_RESULT))
+    return stream
+
+
+@dataclass
+class ExecutionReport:
+    """Cycle accounting of one stream replay."""
+
+    cycles: int
+    commands_executed: int
+    dot_products: int
+    reductions: int
+
+
+class StreamExecutor:
+    """Replays a command stream with macro-pipeline-consistent timing.
+
+    The executor validates stream structure (every consumed operand was
+    produced) and reports cycles from the same pipeline simulator the
+    performance model uses, so driver-level and model-level timings can
+    never drift apart.
+    """
+
+    def __init__(self, cfg: ChamConfig = None) -> None:
+        self.cfg = cfg or cham_default_config()
+        self._pipeline = MacroPipeline(self.cfg.engine)
+
+    def validate(self, stream: CommandStream) -> None:
+        produced_rows = set()
+        ksk_loaded = False
+        vector_tiles = set()
+        reductions = 0
+        for cmd in stream.commands:
+            if cmd.opcode is Opcode.LOAD_KSK:
+                ksk_loaded = True
+            elif cmd.opcode is Opcode.LOAD_VECTOR:
+                vector_tiles.add(cmd.tile)
+            elif cmd.opcode is Opcode.DOT_PRODUCT:
+                if cmd.tile not in vector_tiles:
+                    raise ValueError(
+                        f"DOT_PRODUCT tile {cmd.tile} before LOAD_VECTOR"
+                    )
+                produced_rows.add(cmd.operand)
+            elif cmd.opcode is Opcode.LWE_AGGREGATE:
+                if cmd.operand not in produced_rows:
+                    raise ValueError("aggregate before any dot product")
+            elif cmd.opcode is Opcode.PACK_REDUCE:
+                if not ksk_loaded:
+                    raise ValueError("PACK_REDUCE before LOAD_KSK")
+                reductions += 1
+        expect = max((1 << max(stream.rows - 1, 0).bit_length()) - 1, 0)
+        if stream.rows > 1 and reductions != expect:
+            raise ValueError(
+                f"stream has {reductions} reductions, tree needs {expect}"
+            )
+        if len(produced_rows) != stream.rows:
+            raise ValueError("not every row has a dot product")
+
+    def execute(self, stream: CommandStream) -> ExecutionReport:
+        """Validate, then price the stream with the pipeline simulator."""
+        self.validate(stream)
+        stats = self._pipeline.simulate_hmvp(stream.rows, stream.col_tiles)
+        return ExecutionReport(
+            cycles=stats.total_cycles,
+            commands_executed=len(stream.commands),
+            dot_products=stream.count(Opcode.DOT_PRODUCT),
+            reductions=stream.count(Opcode.PACK_REDUCE),
+        )

@@ -1,0 +1,138 @@
+"""On-card memory system model: DDR traffic and URAM staging buffers.
+
+Section III-C: "we use RAMs to buffer the input and output data of each
+thread".  This module models the data movement side of an HMVP job that
+the compute-side simulators abstract away:
+
+* :func:`job_traffic` — exact per-job byte counts by stream (plaintext
+  rows in, vector ciphertext in, switching keys in, packed result out);
+* :class:`StagingBuffer` — a double-buffered URAM staging RAM: capacity
+  in polynomials, occupancy over time given producer (DMA) and consumer
+  (engine) rates, detecting starve/overflow conditions;
+* :func:`sustained_bandwidth` — the DDR bandwidth an engine pulls at
+  steady state, checked against the device's roof (this is the number
+  that proves whole-HMVP offload is *not* memory-bound, complementing
+  the roofline's op/byte view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .arch import ChamConfig, EngineConfig, cham_default_config
+
+__all__ = ["JobTraffic", "job_traffic", "StagingBuffer", "sustained_bandwidth"]
+
+_BYTES_PER_COEFF = 8
+
+
+@dataclass(frozen=True)
+class JobTraffic:
+    """Per-job DDR byte counts by stream."""
+
+    rows_in: int
+    vector_in: int
+    keys_in: int
+    result_out: int
+
+    @property
+    def total(self) -> int:
+        return self.rows_in + self.vector_in + self.keys_in + self.result_out
+
+    def by_stream(self) -> Dict[str, int]:
+        return {
+            "plaintext rows": self.rows_in,
+            "vector ct": self.vector_in,
+            "switching keys": self.keys_in,
+            "packed result": self.result_out,
+        }
+
+
+def job_traffic(
+    rows: int, col_tiles: int = 1, ring_n: int = 4096, limbs: int = 2
+) -> JobTraffic:
+    """Exact traffic of one HMVP job (everything else stays on-chip)."""
+    limbs_aug = limbs + 1
+    poly = ring_n * _BYTES_PER_COEFF
+    rows_in = rows * col_tiles * limbs_aug * poly  # augmented pt rows
+    vector_in = col_tiles * 2 * limbs_aug * poly  # augmented vector ct
+    # pack-tree Galois keys: log2(rows) levels, dnum*2 components each,
+    # augmented limbs — loaded once per job and resident thereafter
+    levels = max(rows - 1, 0).bit_length()
+    keys_in = levels * limbs * 2 * limbs_aug * poly
+    result_out = 2 * limbs * poly  # packed normal-basis ciphertext
+    return JobTraffic(rows_in, vector_in, keys_in, result_out)
+
+
+@dataclass
+class StagingBuffer:
+    """Double-buffered URAM staging RAM between DMA and an engine.
+
+    Tracks occupancy in polynomials: the DMA fills at ``fill_rate``
+    polys/cycle, the engine drains ``drain_per_row`` polys every
+    ``row_interval`` cycles.  ``simulate`` reports whether the engine
+    ever starves (buffer empty at a row boundary) or the DMA ever blocks
+    (buffer full), and the peak occupancy — the URAM sizing input.
+    """
+
+    capacity_polys: int
+    fill_rate: float  # polynomials per cycle from DMA
+    drain_per_row: int  # polynomials consumed per row
+    row_interval: int  # cycles between row starts
+
+    def simulate(self, rows: int) -> Dict[str, float]:
+        occupancy = 0.0
+        peak = 0.0
+        starves = 0
+        blocked_cycles = 0.0
+        produced = 0.0
+        total_polys = rows * self.drain_per_row
+        time = 0
+        for _row in range(rows):
+            # DMA fills during the interval, clipped by capacity
+            fill = self.fill_rate * self.row_interval
+            room = self.capacity_polys - occupancy
+            if fill > room:
+                blocked_cycles += (fill - room) / self.fill_rate
+                fill = room
+            fill = min(fill, total_polys - produced)
+            produced += fill
+            occupancy += fill
+            peak = max(peak, occupancy)
+            # engine drains one row's worth, if present
+            if occupancy + 1e-9 < self.drain_per_row:
+                starves += 1
+            else:
+                occupancy -= self.drain_per_row
+            time += self.row_interval
+        return {
+            "peak_polys": peak,
+            "starves": starves,
+            "dma_blocked_cycles": blocked_cycles,
+            "cycles": time,
+        }
+
+
+def sustained_bandwidth(
+    cfg: ChamConfig = None, ring_n: int = 4096, limbs: int = 2
+) -> Dict[str, float]:
+    """Steady-state DDR pull of the full accelerator vs. its roof.
+
+    Each engine consumes one augmented plaintext row (``limbs+1`` polys)
+    per ``dot_product_interval``; everything else is amortized.
+    """
+    cfg = cfg or cham_default_config()
+    engine = cfg.engine
+    poly = ring_n * _BYTES_PER_COEFF
+    bytes_per_row = (limbs + 1) * poly
+    rows_per_sec = cfg.clock_hz / engine.dot_product_interval
+    per_engine = bytes_per_row * rows_per_sec
+    total = per_engine * cfg.engines
+    roof = 77e9  # the U200/VU9P DDR roof used by the roofline model
+    return {
+        "per_engine_gbps": per_engine / 1e9,
+        "total_gbps": total / 1e9,
+        "roof_gbps": roof / 1e9,
+        "fraction_of_roof": total / roof,
+    }

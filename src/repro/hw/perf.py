@@ -1,0 +1,216 @@
+"""Calibrated end-to-end performance models (CPU / GPU / CHAM).
+
+CHAM numbers come from the cycle-level simulators in this package; the
+CPU (Intel Xeon 6130) and GPU (NVIDIA V100) baselines are analytical
+models whose constants are **anchored to the paper's own published
+ratios** (we do not own the authors' testbed; see DESIGN.md §2):
+
+* CHAM key-switch ≈ 61-65 k ops/s (one engine's pack pipeline) and the
+  quoted 105× over CPU fixes the CPU key-switch at ≈ 1.6 ms;
+* GPU NTT throughput is the paper's quoted 45 k ops/s;
+* GPU sustained HMVP throughput is CHAM/4.5 (Fig. 6);
+* the standalone-NTT offload rate is PCIe-bandwidth-bound:
+  ``12.8 GB/s / 64 KiB per polynomial ≈ 195 k ops/s`` — the paper's
+  number falls out of the bandwidth model rather than a fit;
+* Paillier constants follow FATE's 1024-bit production keys.
+
+All model constants are dataclass fields, so benchmarks can expose and
+ablate them; EXPERIMENTS.md records every anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .arch import ChamConfig, cham_default_config
+from .hetero import ChunkTiming, HeteroSchedule, simulate_hetero
+from .pipeline import MacroPipeline
+
+__all__ = [
+    "CpuCostModel",
+    "PaillierCostModel",
+    "GpuCostModel",
+    "ChamPerfModel",
+    "hmvp_latency_all",
+]
+
+_BYTES_PER_COEFF = 8
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Single-socket Xeon 6130 running a SEAL-style RNS-BFV library."""
+
+    ntt_us: float = 25.0  # one 4096-point single-limb transform, one core
+    pointwise_us: float = 8.0  # one coefficient-wise 4096-vector modmul pass
+    keyswitch_ms: float = 1.61  # anchored: 65 k/s on CHAM is "105x" the CPU
+    encrypt_ms: float = 0.55  # one augmented RLWE encryption
+    decrypt_ms: float = 0.30
+    add_ct_us: float = 40.0  # ciphertext addition
+    encode_row_us: float = 30.0  # Eq. 1 row encoding of 4096 entries
+    threads: int = 1
+
+    def dot_product_s(self, limbs: int = 2) -> float:
+        """One stage 1-4 pass: 3 fwd + 6 inv transforms + pointwise + rescale."""
+        limbs_aug = limbs + 1
+        transforms = limbs_aug + 2 * limbs_aug
+        return (
+            transforms * self.ntt_us + 2 * limbs_aug * self.pointwise_us
+        ) * 1e-6 + 0.2 * self.keyswitch_ms * 0  # rescale is cheap, folded in
+
+    def pack_reduction_s(self) -> float:
+        """One PACKTWOLWES: an automorphism + a key-switch dominate."""
+        return self.keyswitch_ms * 1e-3
+
+    def hmvp_s(self, m: int, n: int, ring_n: int = 4096, limbs: int = 2) -> float:
+        """Full Alg. 1 on CPU (encode + dot products + pack)."""
+        col_tiles = -(-n // ring_n)
+        per_row = (
+            col_tiles * (self.dot_product_s(limbs) + self.encode_row_us * 1e-6)
+            + self.pack_reduction_s()
+        )
+        return m * per_row / self.threads
+
+    def ntt_throughput(self) -> float:
+        return 1e6 / self.ntt_us
+
+    def keyswitch_throughput(self) -> float:
+        return 1e3 / self.keyswitch_ms
+
+
+@dataclass(frozen=True)
+class PaillierCostModel:
+    """FATE's Paillier backend with 1024-bit keys (CRT decryption)."""
+
+    mul_plain_us: float = 4.5  # windowed small-exponent modexp mod n^2
+    add_us: float = 1.5  # one 2048-bit modular multiplication
+    encrypt_ms: float = 1.8  # full-width r^n blinding
+    decrypt_ms: float = 1.2
+    threads: int = 1
+
+    def matvec_s(self, m: int, n: int) -> float:
+        """m*n plaintext multiplies + adds (the FATE matvec)."""
+        return m * n * (self.mul_plain_us + self.add_us) * 1e-6 / self.threads
+
+    def encrypt_vec_s(self, k: int) -> float:
+        return k * self.encrypt_ms * 1e-3 / self.threads
+
+    def decrypt_vec_s(self, k: int) -> float:
+        return k * self.decrypt_ms * 1e-3 / self.threads
+
+    def add_vec_s(self, k: int) -> float:
+        return k * self.add_us * 1e-6 / self.threads
+
+
+@dataclass(frozen=True)
+class GpuCostModel:
+    """NVIDIA V100 running a cuHE-style RNS-BFV implementation."""
+
+    ntt_throughput: float = 45e3  # paper-quoted single-kernel rate
+    #: sustained HMVP throughput relative to saturated CHAM (Fig. 6)
+    hmvp_throughput_vs_cham: float = 4.5
+    fixed_overhead_s: float = 0.015  # context + kernel launch train
+    encode_row_us: float = 30.0  # host-side encode, same CPU
+    host_threads: int = 8
+
+    def hmvp_s(self, m: int, n: int, cham_sat_rows_per_s: float, ring_n: int = 4096) -> float:
+        col_tiles = -(-n // ring_n)
+        rate = cham_sat_rows_per_s / self.hmvp_throughput_vs_cham
+        compute = m * col_tiles / rate
+        encode = m * col_tiles * self.encode_row_us * 1e-6 / self.host_threads
+        return self.fixed_overhead_s + max(compute, encode)
+
+
+@dataclass
+class ChamPerfModel:
+    """End-to-end CHAM performance from the cycle simulators."""
+
+    cfg: ChamConfig = field(default_factory=cham_default_config)
+    #: driver + invocation overhead per offloaded job (Section III-C)
+    fixed_overhead_s: float = 0.010
+    #: host-side Eq. 1 row encode cost (same CPU as the baselines)
+    encode_row_us: float = 30.0
+    #: rows per host work chunk (one staging buffer)
+    chunk_rows: int = 512
+
+    def __post_init__(self) -> None:
+        self._pipeline = MacroPipeline(self.cfg.engine)
+
+    # -- raw engine rates ----------------------------------------------------------
+
+    def row_interval_s(self) -> float:
+        return self.cfg.engine.dot_product_interval / self.cfg.clock_hz
+
+    def saturated_rows_per_s(self) -> float:
+        return self.cfg.engines / self.row_interval_s()
+
+    def hmvp_cycles(self, m: int, n: int) -> int:
+        from .pipeline import simulate_multi_engine
+
+        col_tiles = -(-n // self.cfg.engine.ntt_unit.n)
+        return simulate_multi_engine(self.cfg, m, col_tiles).total_cycles
+
+    # -- end-to-end latency via the heterogeneous schedule ---------------------------
+
+    def hmvp_schedule(self, m: int, n: int) -> HeteroSchedule:
+        """Fig. 1b pipelined execution of one HMVP."""
+        ring_n = self.cfg.engine.ntt_unit.n
+        col_tiles = -(-n // ring_n)
+        chunks: List[ChunkTiming] = []
+        remaining = m
+        pcie = self.cfg.pcie_gbps * 1e9
+        while remaining > 0:
+            rows = min(self.chunk_rows, remaining)
+            stats = self._pipeline.simulate_hmvp(rows, col_tiles)
+            encode = rows * col_tiles * self.encode_row_us * 1e-6
+            row_bytes = rows * col_tiles * 3 * ring_n * _BYTES_PER_COEFF
+            chunks.append(
+                ChunkTiming(
+                    encode_s=encode,
+                    transfer_s=row_bytes / pcie,
+                    compute_s=stats.total_cycles / self.cfg.clock_hz,
+                    readback_s=4 * ring_n * _BYTES_PER_COEFF / pcie,
+                )
+            )
+            remaining -= rows
+        return simulate_hetero(self.cfg, chunks)
+
+    def hmvp_s(self, m: int, n: int) -> float:
+        return self.fixed_overhead_s + self.hmvp_schedule(m, n).total_s
+
+    def hmvp_throughput_rows_per_s(self, m: int, n: int) -> float:
+        return m / self.hmvp_s(m, n)
+
+    # -- operator-level throughputs (Table III discussion) -----------------------------
+
+    def ntt_offload_throughput(self) -> float:
+        """Standalone NTT offload: PCIe-bandwidth-bound (≈195 k ops/s)."""
+        unit = self.cfg.engine.ntt_unit
+        unit_rate = self.cfg.clock_hz / unit.cycles
+        compute_roof = self.cfg.total_ntt_units * unit_rate
+        wire_bytes = 2 * unit.n * _BYTES_PER_COEFF  # poly in + poly out
+        bandwidth_roof = self.cfg.pcie_gbps * 1e9 / wire_bytes
+        return min(compute_roof, bandwidth_roof)
+
+    def keyswitch_throughput(self, engines: int = 1) -> float:
+        """Key-switch offload: pack-pipeline-bound (≈61-65 k ops/s/engine)."""
+        return engines * self.cfg.clock_hz / self.cfg.engine.pack_interval
+
+
+def hmvp_latency_all(
+    m: int,
+    n: int,
+    cham: ChamPerfModel = None,
+    cpu: CpuCostModel = None,
+    gpu: GpuCostModel = None,
+) -> Dict[str, float]:
+    """Fig. 8 row: HMVP latency on the three platforms (seconds)."""
+    cham = cham or ChamPerfModel()
+    cpu = cpu or CpuCostModel()
+    gpu = gpu or GpuCostModel()
+    return {
+        "cpu": cpu.hmvp_s(m, n),
+        "gpu": gpu.hmvp_s(m, n, cham.saturated_rows_per_s()),
+        "cham": cham.hmvp_s(m, n),
+    }

@@ -1,0 +1,70 @@
+"""Energy model — the efficiency dimension accelerator papers report.
+
+The paper reports speed-ups only; an adopter's next question is joules.
+This extension prices energy per HMVP from published board/device
+envelopes and the simulators' activity counts:
+
+* CHAM: VU9P-class card at 45-60 W under load, scaled by the pipeline's
+  measured utilization plus static power;
+* CPU: Xeon 6130 at 125 W TDP for the (single-socket) baseline duration;
+* GPU: V100 at 250 W sustained.
+
+Energy = power × the same end-to-end times the latency model produces,
+so the efficiency ratios inherit the latency model's calibration and
+stay internally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .perf import ChamPerfModel, CpuCostModel, GpuCostModel
+
+__all__ = ["PowerModel", "energy_per_hmvp"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Board-level power envelopes (watts)."""
+
+    fpga_static_w: float = 22.0  # shell + idle card
+    fpga_dynamic_w: float = 38.0  # both engines fully busy
+    cpu_w: float = 125.0  # Xeon 6130 TDP
+    gpu_w: float = 250.0  # V100 sustained
+    host_w: float = 60.0  # host share while driving the card
+
+    def fpga_power(self, utilization: float) -> float:
+        return self.fpga_static_w + self.fpga_dynamic_w * min(max(utilization, 0.0), 1.0)
+
+
+def energy_per_hmvp(
+    m: int,
+    n: int,
+    power: PowerModel = PowerModel(),
+    cham: ChamPerfModel = None,
+    cpu: CpuCostModel = None,
+    gpu: GpuCostModel = None,
+) -> Dict[str, float]:
+    """Joules per HMVP on the three platforms, plus efficiency ratios."""
+    cham = cham or ChamPerfModel()
+    cpu = cpu or CpuCostModel()
+    gpu = gpu or GpuCostModel()
+
+    t_cpu = cpu.hmvp_s(m, n)
+    t_gpu = gpu.hmvp_s(m, n, cham.saturated_rows_per_s())
+    sched = cham.hmvp_schedule(m, n)
+    t_cham = cham.fixed_overhead_s + sched.total_s
+    util = sched.fpga_utilization
+
+    e_cpu = t_cpu * power.cpu_w
+    e_gpu = t_gpu * (power.gpu_w + power.host_w)
+    e_cham = t_cham * (power.fpga_power(util) + power.host_w)
+    return {
+        "cpu_j": e_cpu,
+        "gpu_j": e_gpu,
+        "cham_j": e_cham,
+        "cham_vs_cpu": e_cpu / e_cham,
+        "cham_vs_gpu": e_gpu / e_cham,
+        "fpga_utilization": util,
+    }

@@ -1,0 +1,188 @@
+"""FPGA resource model — reproduces Table II and the Table III variants.
+
+The model is bottom-up with constants calibrated against the paper's
+published synthesis results:
+
+* the three NTT-unit memory implementations come straight from Table III
+  (BRAM-only / BRAM+dRAM / dRAM-only LUT and BRAM counts);
+* each butterfly unit (BFU) costs 8 DSP slices — a 35×38-bit modular
+  multiplier tiled from 27×18 DSP blocks plus the low-Hamming-weight
+  shift-add reduction (Section IV-A3), which is what lets the modular
+  reduction avoid further DSPs;
+* per-engine PPU / control / buffer constants are fitted so that the
+  default two-engine configuration lands on Table II within ~2%.
+
+A generic-Barrett variant of the modular multiplier is provided for the
+low-Hamming-weight ablation: Barrett needs two extra wide multiplies
+(≈ 8 more DSPs per BFU) and more LUT carry logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .arch import ChamConfig, EngineConfig, FpgaDevice, NttUnitConfig, VU9P
+
+__all__ = [
+    "ResourceVector",
+    "ntt_unit_resources",
+    "engine_resources",
+    "platform_resources",
+    "total_resources",
+    "utilization",
+    "TABLE2_REFERENCE",
+    "TABLE3_NTT_VARIANTS",
+]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """LUT/FF/BRAM/URAM/DSP counts for one module."""
+
+    lut: int = 0
+    ff: int = 0
+    bram: int = 0
+    uram: int = 0
+    dsp: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.bram + other.bram,
+            self.uram + other.uram,
+            self.dsp + other.dsp,
+        )
+
+    def scale(self, k: int) -> "ResourceVector":
+        return ResourceVector(
+            self.lut * k, self.ff * k, self.bram * k, self.uram * k, self.dsp * k
+        )
+
+    def fits(self, device: FpgaDevice, max_util: float = 1.0) -> bool:
+        return (
+            self.lut <= device.luts * max_util
+            and self.ff <= device.ffs * max_util
+            and self.bram <= device.bram36 * max_util
+            and self.uram <= device.urams * max_util
+            and self.dsp <= device.dsps * max_util
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "LUT": self.lut,
+            "FF": self.ff,
+            "BRAM": self.bram,
+            "URAM": self.uram,
+            "DSP": self.dsp,
+        }
+
+
+#: Table II reference numbers (for benchmark comparison output).
+TABLE2_REFERENCE = {
+    "Compute Engine 0": ResourceVector(259_318, 89_894, 640, 294, 986),
+    "Compute Engine 1": ResourceVector(259_502, 90_043, 640, 294, 986),
+    "Platform": ResourceVector(234_066, 302_670, 278, 7, 14),
+}
+
+#: Table III single-NTT-module variants: (LUT, BRAM) per memory choice.
+TABLE3_NTT_VARIANTS = {
+    "bram": (3_324, 14),
+    "bram+dram": (6_508, 6),
+    "dram": (9_248, 0),
+}
+
+#: DSPs per butterfly unit: 35×38 modular multiplier tiled from 27×18
+#: slices; the low-Hamming reduction costs no DSPs.
+_DSP_PER_BFU = 8
+#: extra DSPs per BFU if a generic Barrett reduction were used instead
+_BARRETT_EXTRA_DSP_PER_BFU = 8
+_BARRETT_EXTRA_LUT_PER_BFU = 420
+
+#: fitted per-engine constants (PPUs, pack datapath, reduce buffer, control)
+_ENGINE_PPU_LUT = 96_000
+_ENGINE_PPU_FF = 30_000
+_ENGINE_PPU_URAM = 150
+_ENGINE_PPU_BRAM = 120
+_ENGINE_PPU_DSP = 26
+_ENGINE_IO_URAM_PER_POLY = 12
+_ENGINE_CTRL_LUT = 64_000
+_ENGINE_CTRL_FF = 12_000
+_ENGINE_CTRL_BRAM = 92
+
+#: fitted platform (Vitis/in-house shell, PCIe, DDR controllers) constants
+_PLATFORM = ResourceVector(234_066, 302_670, 278, 7, 14)
+
+
+def ntt_unit_resources(
+    unit: NttUnitConfig, barrett: bool = False
+) -> ResourceVector:
+    """Resources of one constant-geometry NTT unit (Table III row).
+
+    LUT/BRAM follow the selected memory technology; DSP count scales with
+    the butterfly parallelism.  ``barrett=True`` models the ablation where
+    the moduli are generic primes and reduction needs wide multiplies.
+    """
+    if unit.memory not in TABLE3_NTT_VARIANTS:
+        raise ValueError(
+            f"unknown memory technology {unit.memory!r}; "
+            f"choose from {sorted(TABLE3_NTT_VARIANTS)}"
+        )
+    base_lut, base_bram = TABLE3_NTT_VARIANTS[unit.memory]
+    # Table III is the 4-BFU point; LUT and BRAM scale with n_bfu (datapath
+    # width and bank count), the fixed control overhead does not.
+    scale = unit.n_bfu / 4
+    lut = int(base_lut * (0.35 + 0.65 * scale))
+    bram = int(round(base_bram * scale))
+    dsp = unit.n_bfu * _DSP_PER_BFU
+    ff = int(400 * unit.n_bfu)
+    if barrett:
+        dsp += unit.n_bfu * _BARRETT_EXTRA_DSP_PER_BFU
+        lut += unit.n_bfu * _BARRETT_EXTRA_LUT_PER_BFU
+    return ResourceVector(lut=lut, ff=ff, bram=bram, uram=0, dsp=dsp)
+
+
+def engine_resources(engine: EngineConfig, barrett: bool = False) -> ResourceVector:
+    """Resources of one compute engine (Table II 'Compute Engine' rows)."""
+    unit = ntt_unit_resources(engine.ntt_unit, barrett)
+    total = unit.scale(engine.total_ntt_units)
+    ppu = ResourceVector(
+        lut=_ENGINE_PPU_LUT * engine.ppu_lanes // 4,
+        ff=_ENGINE_PPU_FF * engine.ppu_lanes // 4,
+        bram=_ENGINE_PPU_BRAM,
+        uram=_ENGINE_PPU_URAM,
+        dsp=_ENGINE_PPU_DSP,
+    )
+    io = ResourceVector(
+        uram=_ENGINE_IO_URAM_PER_POLY * engine.io_buffer_polys,
+        bram=engine.reduce_buffer_entries // 2,
+    )
+    ctrl = ResourceVector(
+        lut=_ENGINE_CTRL_LUT, ff=_ENGINE_CTRL_FF, bram=_ENGINE_CTRL_BRAM
+    )
+    return total + ppu + io + ctrl
+
+
+def platform_resources() -> ResourceVector:
+    """The static shell (PCIe, DMA, DDR controllers) — Table II 'Platform'."""
+    return _PLATFORM
+
+
+def total_resources(cfg: ChamConfig, barrett: bool = False) -> ResourceVector:
+    """Whole-design resources: engines + platform."""
+    total = platform_resources()
+    for _ in range(cfg.engines):
+        total = total + engine_resources(cfg.engine, barrett)
+    return total
+
+
+def utilization(vec: ResourceVector, device: FpgaDevice = VU9P) -> Dict[str, float]:
+    """Percent utilization per resource class (Table II 'Total' row)."""
+    return {
+        "LUT": 100.0 * vec.lut / device.luts,
+        "FF": 100.0 * vec.ff / device.ffs,
+        "BRAM": 100.0 * vec.bram / device.bram36,
+        "URAM": 100.0 * vec.uram / device.urams,
+        "DSP": 100.0 * vec.dsp / device.dsps,
+    }

@@ -1,0 +1,129 @@
+"""Roofline model (Fig. 2a) — why CHAM offloads whole HMVPs.
+
+Operations are counted in the paper's unit: one 27×18-bit integer
+multiplication, i.e. one DSP slice-cycle.  A 35×39-bit modular multiply
+tiles into 4 such ops (the low-Hamming-weight reduction costs none).
+
+The model prices three offload granularities on the U200:
+
+* a standalone **NTT** call (polynomial in, polynomial out over PCIe/DDR),
+* a standalone **key-switch** call (ciphertext + switching key traffic),
+* a whole **HMVP** (matrix rows streamed once; everything else stays
+  on-chip).
+
+NTT and key-switch land far below the memory ridge — offloading them
+individually leaves the DSPs starved, which is the paper's argument for
+the fully-customized whole-kernel architecture (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .arch import FpgaDevice, U200
+
+__all__ = ["KernelPoint", "ntt_kernel", "keyswitch_kernel", "hmvp_kernel", "roofline_points"]
+
+#: 27x18 DSP ops per word-sized modular multiplication
+OPS_PER_MODMUL = 4
+#: bytes per polynomial coefficient on the wire (64-bit words)
+BYTES_PER_COEFF = 8
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One kernel on the roofline."""
+
+    name: str
+    ops: float
+    bytes_moved: float
+    device: FpgaDevice = U200
+
+    @property
+    def intensity(self) -> float:
+        """Operations per byte of off-chip traffic."""
+        return self.ops / self.bytes_moved
+
+    @property
+    def attainable_ops_per_sec(self) -> float:
+        """min(compute roof, intensity * bandwidth roof)."""
+        mem_bound = self.intensity * self.device.ddr_gbps * 1e9
+        return min(self.device.peak_ops_per_sec, mem_bound)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.device.ridge_intensity
+
+    @property
+    def peak_fraction(self) -> float:
+        return self.attainable_ops_per_sec / self.device.peak_ops_per_sec
+
+
+def _ntt_ops(n: int) -> int:
+    log_n = n.bit_length() - 1
+    return (n // 2) * log_n * OPS_PER_MODMUL
+
+
+def ntt_kernel(n: int = 4096, device: FpgaDevice = U200) -> KernelPoint:
+    """A standalone single-limb NTT invocation."""
+    ops = _ntt_ops(n)
+    data = 2 * n * BYTES_PER_COEFF  # read + write the polynomial
+    return KernelPoint("NTT", ops, data, device)
+
+
+def keyswitch_kernel(
+    n: int = 4096, limbs: int = 2, device: FpgaDevice = U200
+) -> KernelPoint:
+    """A standalone hybrid key-switch invocation (keys streamed)."""
+    limbs_aug = limbs + 1
+    transforms = limbs * limbs_aug + 2 * limbs_aug  # dnum fwd + 2 inverse
+    pointwise = limbs * 2 * limbs_aug * n  # digit * key inner products
+    ops = transforms * _ntt_ops(n) + pointwise * OPS_PER_MODMUL
+    ct_bytes = 2 * limbs * n * BYTES_PER_COEFF
+    ksk_bytes = limbs * 2 * limbs_aug * n * BYTES_PER_COEFF
+    data = 2 * ct_bytes + ksk_bytes
+    return KernelPoint("KeySwitch", ops, data, device)
+
+
+def hmvp_kernel(
+    m: int = 4096,
+    n_cols: int = 4096,
+    ring_n: int = 4096,
+    limbs: int = 2,
+    device: FpgaDevice = U200,
+) -> KernelPoint:
+    """A whole HMVP offload: rows streamed once, keys/vector resident.
+
+    Per row: 3 forward transforms (augmented plaintext), 6 inverse
+    (product), coefficient-wise multiply, plus one amortized PACKTWOLWES
+    (≈ a key-switch).  Off-chip traffic per row is one plaintext row in
+    limb form; the vector ciphertext, switching keys and the packed
+    output are amortized over the matrix.
+    """
+    limbs_aug = limbs + 1
+    col_tiles = -(-n_cols // ring_n)
+    dot_transforms = limbs_aug + 2 * limbs_aug  # 3 fwd + 6 inv
+    ks_transforms = limbs * limbs_aug + 2 * limbs_aug
+    per_row_ops = (
+        col_tiles * (dot_transforms * _ntt_ops(ring_n) + 2 * limbs_aug * ring_n * OPS_PER_MODMUL)
+        + ks_transforms * _ntt_ops(ring_n)
+        + limbs * 2 * limbs_aug * ring_n * OPS_PER_MODMUL
+    )
+    per_row_bytes = col_tiles * limbs_aug * ring_n * BYTES_PER_COEFF
+    amortized = (
+        2 * limbs_aug * ring_n * BYTES_PER_COEFF * col_tiles  # input ct tiles
+        + 2 * limbs * ring_n * BYTES_PER_COEFF  # packed output
+    )
+    ops = m * per_row_ops
+    data = m * per_row_bytes + amortized
+    return KernelPoint("HMVP", ops, data, device)
+
+
+def roofline_points(device: FpgaDevice = U200) -> Dict[str, KernelPoint]:
+    """The three Fig. 2a kernels at production parameters."""
+    return {
+        "NTT": ntt_kernel(device=device),
+        "KeySwitch": keyswitch_kernel(device=device),
+        "HMVP": hmvp_kernel(device=device),
+    }

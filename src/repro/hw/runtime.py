@@ -1,0 +1,303 @@
+"""Software runtime / driver simulation with RAS features (Section III-C).
+
+The paper: "In addition to provide APIs for application, the runtime also
+support reliability, availability, and serviceability (RAS) features
+including FPGA register loading error handling, FPGA hang/reset, and FPGA
+health monitoring."  This module reproduces those control paths against a
+fault-injectable virtual device:
+
+* :class:`VirtualFpga` — register file, job execution with configurable
+  fault injection (register-load bit flips, hangs);
+* :class:`FpgaRuntime` — the host runtime: CRC-checked register loading
+  with bounded retry, a watchdog that resets hung devices and requeues
+  in-flight jobs, and a health monitor aggregating counters.
+
+Applications drive jobs through :meth:`FpgaRuntime.submit` /
+:meth:`FpgaRuntime.poll`; the test-suite injects every fault class and
+asserts recovery.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .arch import ChamConfig, cham_default_config
+from .pipeline import MacroPipeline
+
+__all__ = [
+    "JobScheduler",
+    "QueueReport",
+    "FaultInjector",
+    "VirtualFpga",
+    "JobState",
+    "Job",
+    "HealthReport",
+    "FpgaRuntime",
+    "RegisterLoadError",
+    "DeviceHangError",
+]
+
+
+class RegisterLoadError(RuntimeError):
+    """Register image failed CRC validation after all retries."""
+
+
+class DeviceHangError(RuntimeError):
+    """Device stopped making progress and reset did not recover it."""
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault injection knobs (all default off)."""
+
+    register_flip_prob: float = 0.0
+    hang_prob: float = 0.0
+    #: device recovers after this many resets (simulates transient hangs)
+    resets_to_recover: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+
+    def corrupt_register(self) -> bool:
+        return self.rng.random() < self.register_flip_prob
+
+    def hang(self) -> bool:
+        return self.rng.random() < self.hang_prob
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One offloaded HMVP job."""
+
+    job_id: int
+    rows: int
+    col_tiles: int = 1
+    state: JobState = JobState.QUEUED
+    cycles: int = 0
+    retries: int = 0
+
+
+@dataclass
+class HealthReport:
+    """Snapshot of the health monitor (the paper's monitoring feature)."""
+
+    jobs_completed: int
+    jobs_failed: int
+    register_retries: int
+    hangs_detected: int
+    resets: int
+    busy_cycles: int
+    temperature_c: float
+
+    @property
+    def healthy(self) -> bool:
+        return self.jobs_failed == 0 and self.temperature_c < 95.0
+
+
+class VirtualFpga:
+    """A fault-injectable device model executing pipeline jobs."""
+
+    def __init__(
+        self, cfg: ChamConfig, faults: Optional[FaultInjector] = None
+    ) -> None:
+        self.cfg = cfg
+        self.faults = faults or FaultInjector()
+        self.registers: Dict[int, int] = {}
+        self.hung = False
+        self._resets_seen = 0
+        self._pipeline = MacroPipeline(cfg.engine)
+
+    def load_register(self, addr: int, value: int) -> int:
+        """Write a register, returning the readback value (maybe corrupt)."""
+        stored = value
+        if self.faults.corrupt_register():
+            stored = value ^ (1 << int(self.faults.rng.integers(0, 32)))
+        self.registers[addr] = stored
+        return stored
+
+    def run_job(self, job: Job) -> int:
+        """Execute a job; may hang (raises nothing — caller polls)."""
+        if self.hung:
+            raise DeviceHangError("device is hung")
+        if self.faults.hang():
+            self.hung = True
+            raise DeviceHangError("device hang during job execution")
+        stats = self._pipeline.simulate_hmvp(job.rows, job.col_tiles)
+        return stats.total_cycles
+
+    def reset(self) -> bool:
+        """Full device reset; returns True if the device came back."""
+        self._resets_seen += 1
+        if self._resets_seen >= self.faults.resets_to_recover:
+            self.hung = False
+            self._resets_seen = 0
+            return True
+        return False
+
+
+def _crc(value: int) -> int:
+    return zlib.crc32(int(value).to_bytes(8, "little"))
+
+
+class FpgaRuntime:
+    """Host runtime with RAS: checked register loads, watchdog, health."""
+
+    def __init__(
+        self,
+        cfg: Optional[ChamConfig] = None,
+        faults: Optional[FaultInjector] = None,
+        max_register_retries: int = 3,
+        max_job_retries: int = 2,
+    ) -> None:
+        self.cfg = cfg or cham_default_config()
+        self.device = VirtualFpga(self.cfg, faults)
+        self.max_register_retries = max_register_retries
+        self.max_job_retries = max_job_retries
+        self._next_job = 0
+        self.jobs: Dict[int, Job] = {}
+        self._completed: List[int] = []
+        # health counters
+        self.register_retries = 0
+        self.hangs_detected = 0
+        self.resets = 0
+        self.jobs_failed = 0
+        self.busy_cycles = 0
+
+    # -- register loading with error handling -----------------------------------
+
+    def load_register_checked(self, addr: int, value: int) -> None:
+        """Write-and-verify a register, retrying on corruption.
+
+        The paper's "FPGA register loading error handling": every write is
+        read back and CRC-compared; mismatches retry up to the bound.
+        """
+        for _attempt in range(self.max_register_retries + 1):
+            stored = self.device.load_register(addr, value)
+            if _crc(stored) == _crc(value):
+                return
+            self.register_retries += 1
+        raise RegisterLoadError(
+            f"register 0x{addr:x} failed to load after "
+            f"{self.max_register_retries} retries"
+        )
+
+    # -- job lifecycle with watchdog ----------------------------------------------
+
+    def submit(self, rows: int, col_tiles: int = 1) -> int:
+        """Queue an HMVP job; returns a job id."""
+        job = Job(job_id=self._next_job, rows=rows, col_tiles=col_tiles)
+        self._next_job += 1
+        self.jobs[job.job_id] = job
+        return job.job_id
+
+    def poll(self, job_id: int) -> JobState:
+        """Drive the job to completion (hang/reset handled transparently)."""
+        job = self.jobs[job_id]
+        if job.state in (JobState.DONE, JobState.FAILED):
+            return job.state
+        job.state = JobState.RUNNING
+        while True:
+            try:
+                job.cycles = self.device.run_job(job)
+                job.state = JobState.DONE
+                self.busy_cycles += job.cycles
+                self._completed.append(job_id)
+                return job.state
+            except DeviceHangError:
+                self.hangs_detected += 1
+                recovered = self._watchdog_reset()
+                job.retries += 1
+                if not recovered or job.retries > self.max_job_retries:
+                    job.state = JobState.FAILED
+                    self.jobs_failed += 1
+                    return job.state
+
+    def _watchdog_reset(self) -> bool:
+        """Reset until the device recovers or gives up (3 attempts)."""
+        for _ in range(3):
+            self.resets += 1
+            if self.device.reset():
+                return True
+        return False
+
+    # -- health monitoring ------------------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """The monitoring endpoint (temperature modeled from utilization)."""
+        completed = len(self._completed)
+        # toy thermal model: idle 45C, + up to 30C with accumulated load
+        temp = 45.0 + 30.0 * min(self.busy_cycles / 3e9, 1.0)
+        return HealthReport(
+            jobs_completed=completed,
+            jobs_failed=self.jobs_failed,
+            register_retries=self.register_retries,
+            hangs_detected=self.hangs_detected,
+            resets=self.resets,
+            busy_cycles=self.busy_cycles,
+            temperature_c=temp,
+        )
+
+
+@dataclass
+class QueueReport:
+    """Outcome of scheduling a job queue across the engines."""
+
+    completions: Dict[int, int]  # job_id -> completion cycle
+    makespan: int
+    per_engine_busy: List[int]
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return sum(self.per_engine_busy) / (
+            self.makespan * len(self.per_engine_busy)
+        )
+
+
+class JobScheduler:
+    """Greedy multi-job scheduler over the accelerator's engines.
+
+    The runtime batches queued HMVP jobs and dispatches each to the
+    earliest-available engine (jobs are indivisible: one job's pack tree
+    lives in one engine's reduce buffer).  Longest-job-first ordering
+    keeps the makespan near the lower bound for the mixed job sizes the
+    applications produce.
+    """
+
+    def __init__(self, cfg: Optional[ChamConfig] = None) -> None:
+        self.cfg = cfg or cham_default_config()
+        self._pipeline = MacroPipeline(self.cfg.engine)
+
+    def schedule(self, jobs: List[Job]) -> QueueReport:
+        costed = []
+        for job in jobs:
+            stats = self._pipeline.simulate_hmvp(job.rows, job.col_tiles)
+            costed.append((stats.total_cycles, job))
+        costed.sort(key=lambda item: -item[0])  # longest first
+        engines = [0] * self.cfg.engines
+        completions: Dict[int, int] = {}
+        for cycles, job in costed:
+            idx = min(range(len(engines)), key=lambda i: engines[i])
+            engines[idx] += cycles
+            completions[job.job_id] = engines[idx]
+            job.cycles = cycles
+            job.state = JobState.DONE
+        return QueueReport(
+            completions=completions,
+            makespan=max(engines) if engines else 0,
+            per_engine_busy=engines,
+        )

@@ -1,0 +1,92 @@
+"""Pipeline trace capture and ASCII rendering (the Fig. 1b view).
+
+:func:`capture_trace` runs one macro-pipeline job with event recording
+on; :func:`render_gantt` folds the events into a fixed-width ASCII
+timeline — one lane for the dot-product stages, one per pack-tree level
+— so the overlap/preemption structure the paper draws in Fig. 1b can be
+eyeballed in a terminal (and asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .arch import EngineConfig
+from .pipeline import MacroPipeline, PipelineStats
+
+__all__ = ["TraceEvent", "PipelineTrace", "capture_trace", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    kind: str  # "dot" | "pack"
+    detail: int  # row index, or pack-tree level
+
+
+@dataclass
+class PipelineTrace:
+    stats: PipelineStats
+    events: List[TraceEvent]
+
+    @property
+    def dot_events(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "dot"]
+
+    @property
+    def pack_events(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "pack"]
+
+    def max_pack_level(self) -> int:
+        return max((e.detail for e in self.pack_events), default=0)
+
+    def first_overlap_cycle(self) -> Optional[int]:
+        """First pack start while dot products are still arriving —
+        the pipelining the macro-architecture exists for."""
+        if not self.pack_events or not self.dot_events:
+            return None
+        last_dot = self.dot_events[-1].cycle
+        for e in self.pack_events:
+            if e.cycle < last_dot:
+                return e.cycle
+        return None
+
+
+def capture_trace(
+    engine: EngineConfig, rows: int, col_tiles: int = 1
+) -> PipelineTrace:
+    """Run one job with tracing enabled."""
+    raw: List[Tuple[int, str, int]] = []
+    stats = MacroPipeline(engine).simulate_hmvp(rows, col_tiles, trace=raw)
+    events = [TraceEvent(*e) for e in sorted(raw)]
+    return PipelineTrace(stats=stats, events=events)
+
+
+def render_gantt(trace: PipelineTrace, width: int = 72) -> str:
+    """ASCII timeline: '#' marks activity in each lane's time bucket."""
+    total = max(trace.stats.total_cycles, 1)
+    scale = total / width
+
+    def lane(events: List[TraceEvent], duration: int) -> str:
+        cells = [" "] * width
+        for e in events:
+            start = int(e.cycle / scale)
+            end = min(int((e.cycle + duration) / scale) + 1, width)
+            for i in range(start, end):
+                if 0 <= i < width:
+                    cells[i] = "#"
+        return "".join(cells)
+
+    pipe = MacroPipeline(EngineConfig())  # default durations for labels only
+    dot_dur = trace.stats.total_cycles // max(len(trace.dot_events), 1)
+    dot_dur = min(dot_dur, pipe.dot_interval)
+    lines = [
+        f"cycles 0 .. {trace.stats.total_cycles:,} "
+        f"({trace.stats.rows} rows, {trace.stats.reductions} reductions)"
+    ]
+    lines.append(f"dot    |{lane(trace.dot_events, dot_dur)}|")
+    for level in range(1, trace.max_pack_level() + 1):
+        events = [e for e in trace.pack_events if e.detail == level]
+        lines.append(f"pack L{level}|{lane(events, pipe.pack_interval)}|")
+    return "\n".join(lines)

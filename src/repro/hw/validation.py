@@ -1,0 +1,137 @@
+"""Cross-layer consistency validation.
+
+Three independent layers of this library account for the same HMVP work:
+
+1. the **functional** pipeline (`repro.core.hmvp`) tallies real
+   operations while producing real ciphertexts;
+2. the **driver** (`repro.hw.isa`) compiles the job into a command
+   stream;
+3. the **temporal** simulator (`repro.hw.pipeline`) schedules it in
+   cycles.
+
+:func:`validate_consistency` checks, for one job shape, that the three
+agree on every shared quantity (dot products, pack reductions, LWE
+aggregations) and that the cycle count is consistent with the op counts
+given the engine's intervals.  :func:`sweep` runs it across a shape grid
+— the regression harness that keeps the layers from drifting as the
+library evolves (run in CI via ``tests/test_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .arch import ChamConfig, cham_default_config
+from .isa import Opcode, compile_hmvp
+from .pipeline import MacroPipeline
+
+__all__ = ["ConsistencyReport", "validate_consistency", "sweep"]
+
+
+@dataclass
+class ConsistencyReport:
+    """Agreement record for one job shape."""
+
+    rows: int
+    col_tiles: int
+    dot_products: int
+    reductions: int
+    aggregations: int
+    cycles: int
+    mismatches: List[str]
+
+    @property
+    def consistent(self) -> bool:
+        return not self.mismatches
+
+
+def validate_consistency(
+    rows: int,
+    col_tiles: int = 1,
+    cfg: Optional[ChamConfig] = None,
+    functional_ops=None,
+) -> ConsistencyReport:
+    """Check driver/temporal (and optionally functional) agreement.
+
+    ``functional_ops`` is an :class:`~repro.core.hmvp.HmvpOpCount` from a
+    real run; when provided, its tallies are reconciled too.
+    """
+    cfg = cfg or cham_default_config()
+    mismatches: List[str] = []
+
+    stream = compile_hmvp(rows, col_tiles)
+    isa_dots = stream.count(Opcode.DOT_PRODUCT)
+    isa_reductions = stream.count(Opcode.PACK_REDUCE)
+    isa_aggs = stream.count(Opcode.LWE_AGGREGATE)
+
+    stats = MacroPipeline(cfg.engine).simulate_hmvp(rows, col_tiles)
+    if stats.dot_products != isa_dots:
+        mismatches.append(
+            f"pipeline dots {stats.dot_products} != ISA {isa_dots}"
+        )
+    padded_reductions = (1 << max(rows - 1, 0).bit_length()) - 1
+    if rows > 1 and stats.reductions != padded_reductions:
+        mismatches.append(
+            f"pipeline reductions {stats.reductions} != tree {padded_reductions}"
+        )
+    if rows > 1 and isa_reductions != padded_reductions:
+        mismatches.append(
+            f"ISA reductions {isa_reductions} != tree {padded_reductions}"
+        )
+
+    # temporal sanity: cycles at least the serial work of the slower side
+    engine = cfg.engine
+    dot_floor = stats.dot_products * engine.dot_product_interval
+    pack_floor = stats.reductions * engine.pack_interval
+    if stats.total_cycles < max(dot_floor, pack_floor):
+        mismatches.append(
+            f"cycles {stats.total_cycles} below the work floor "
+            f"{max(dot_floor, pack_floor)}"
+        )
+
+    if functional_ops is not None:
+        if functional_ops.dot_products != isa_dots:
+            mismatches.append(
+                f"functional dots {functional_ops.dot_products} != ISA {isa_dots}"
+            )
+        if rows > 1 and functional_ops.pack_reductions != padded_reductions:
+            mismatches.append(
+                f"functional reductions {functional_ops.pack_reductions} "
+                f"!= tree {padded_reductions}"
+            )
+        if functional_ops.lwe_additions != isa_aggs:
+            mismatches.append(
+                f"functional aggregations {functional_ops.lwe_additions} "
+                f"!= ISA {isa_aggs}"
+            )
+
+    return ConsistencyReport(
+        rows=rows,
+        col_tiles=col_tiles,
+        dot_products=isa_dots,
+        reductions=isa_reductions,
+        aggregations=isa_aggs,
+        cycles=stats.total_cycles,
+        mismatches=mismatches,
+    )
+
+
+def sweep(
+    shapes: Optional[List[Tuple[int, int]]] = None,
+    cfg: Optional[ChamConfig] = None,
+) -> List[ConsistencyReport]:
+    """Validate a grid of job shapes; returns one report per shape."""
+    if shapes is None:
+        shapes = [
+            (1, 1),
+            (2, 1),
+            (7, 1),
+            (16, 1),
+            (16, 3),
+            (100, 2),
+            (256, 1),
+            (1000, 1),
+            (4096, 1),
+        ]
+    return [validate_consistency(rows, tiles, cfg) for rows, tiles in shapes]

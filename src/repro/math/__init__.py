@@ -1,0 +1,75 @@
+"""Arithmetic substrate: modular/NTT/polynomial/RNS building blocks.
+
+Everything in :mod:`repro.he` and :mod:`repro.hw` is built on top of this
+package.  The two NTT implementations — the gold-model merged Cooley-Tukey
+transform (:mod:`repro.math.ntt`) and the constant-geometry Pease network
+of the paper's Algorithm 4 (:mod:`repro.math.cg_ntt`) — are interchangeable
+and cross-validated.
+"""
+
+from .modular import (
+    BarrettReducer,
+    LowHammingModulus,
+    center_lift,
+    center_lift_vec,
+    modadd_vec,
+    modinv,
+    modmul_vec,
+    modneg_vec,
+    modpow,
+    modsub_vec,
+)
+from .ntt import NegacyclicNtt, intt, negacyclic_convolution_schoolbook, ntt
+from .cg_ntt import CgNtt, CgSchedule, cg_ntt_cycles, constant_geometry_schedule
+from .polynomial import RingPoly, automorph, monomial_multiply, rev, shiftneg
+from .primes import (
+    CHAM_P,
+    CHAM_Q0,
+    CHAM_Q1,
+    find_low_hamming_ntt_prime,
+    find_ntt_prime,
+    is_ntt_friendly,
+    is_prime,
+    negacyclic_psi,
+    primitive_root,
+    root_of_unity,
+)
+from .rns import RnsBasis, RnsPoly
+
+__all__ = [
+    "BarrettReducer",
+    "LowHammingModulus",
+    "center_lift",
+    "center_lift_vec",
+    "modadd_vec",
+    "modinv",
+    "modmul_vec",
+    "modneg_vec",
+    "modpow",
+    "modsub_vec",
+    "NegacyclicNtt",
+    "ntt",
+    "intt",
+    "negacyclic_convolution_schoolbook",
+    "CgNtt",
+    "CgSchedule",
+    "cg_ntt_cycles",
+    "constant_geometry_schedule",
+    "RingPoly",
+    "automorph",
+    "monomial_multiply",
+    "rev",
+    "shiftneg",
+    "CHAM_P",
+    "CHAM_Q0",
+    "CHAM_Q1",
+    "find_low_hamming_ntt_prime",
+    "find_ntt_prime",
+    "is_ntt_friendly",
+    "is_prime",
+    "negacyclic_psi",
+    "primitive_root",
+    "root_of_unity",
+    "RnsBasis",
+    "RnsPoly",
+]

@@ -1,0 +1,279 @@
+"""Vectorized modular arithmetic over word-sized NTT moduli.
+
+CHAM's moduli are at most 39 bits wide (``p = 2**38 + 2**23 + 1``), so a
+product of two residues can reach 78 bits and does not fit in a NumPy
+``uint64``.  :func:`modmul_vec` therefore splits the left operand at
+``SPLIT_BITS`` bits so that every intermediate product stays below 2**60.
+
+The module also provides the *hardware* reduction path used by CHAM: the
+paper chooses low-Hamming-weight primes (three non-zero bits each) so that
+multiplication by ``q`` — and hence Barrett-style reduction — collapses to
+three shifts and adds (Section IV-A3).  :class:`LowHammingModulus` models
+that datapath exactly and is cross-checked against the generic path in the
+test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "MAX_MODULUS_BITS",
+    "SPLIT_BITS",
+    "modadd_vec",
+    "modsub_vec",
+    "modneg_vec",
+    "modmul_vec",
+    "modmul_scalar_vec",
+    "modpow",
+    "modinv",
+    "center_lift",
+    "center_lift_vec",
+    "reduce_signed_vec",
+    "LowHammingModulus",
+    "BarrettReducer",
+    "hamming_weight",
+    "decompose_low_hamming",
+]
+
+#: Largest modulus width (bits) for which :func:`modmul_vec` is exact.
+#: With the 20-bit split every intermediate stays below 2**62 for
+#: 41-bit moduli (see :func:`modmul_vec`), comfortably inside uint64.
+MAX_MODULUS_BITS = 41
+
+#: The left operand of a product is split at this many low bits.
+SPLIT_BITS = 20
+
+_LOW_MASK = np.uint64((1 << SPLIT_BITS) - 1)
+_SHIFT = np.uint64(SPLIT_BITS)
+
+IntArray = np.ndarray
+
+
+def _as_u64(a: Union[IntArray, int, Iterable[int]]) -> IntArray:
+    return np.asarray(a, dtype=np.uint64)
+
+
+def modadd_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
+    """Coefficient-wise ``(a + b) mod q`` (the MODADD unit of Table I)."""
+    a = _as_u64(a)
+    b = _as_u64(b)
+    s = a + b
+    return np.where(s >= np.uint64(q), s - np.uint64(q), s)
+
+
+def modsub_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
+    """Coefficient-wise ``(a - b) mod q``."""
+    a = _as_u64(a)
+    b = _as_u64(b)
+    qq = np.uint64(q)
+    return np.where(a >= b, a - b, a + qq - b)
+
+
+def modneg_vec(a: IntArray, q: int) -> IntArray:
+    """Coefficient-wise ``(-a) mod q``."""
+    a = _as_u64(a)
+    qq = np.uint64(q)
+    return np.where(a == 0, a, qq - a)
+
+
+def modmul_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
+    """Coefficient-wise ``(a * b) mod q`` for ``q < 2**MAX_MODULUS_BITS``.
+
+    Exactness argument: write ``a = a_hi * 2**20 + a_lo``.  With
+    ``a, b < q < 2**41`` every intermediate below is at most
+    ``2**21 * 2**41 = 2**62`` (``a_hi * b``), ``(q-1) * 2**20 < 2**61``
+    (the shifted reduced high part), ``2**20 * 2**41 = 2**61``
+    (``a_lo * b``), or their sum ``< 2**62`` — all inside ``uint64``.
+    """
+    if q.bit_length() > MAX_MODULUS_BITS:
+        raise ValueError(
+            f"modulus {q} is {q.bit_length()} bits; "
+            f"modmul_vec supports at most {MAX_MODULUS_BITS}"
+        )
+    a = _as_u64(a)
+    b = _as_u64(b)
+    qq = np.uint64(q)
+    hi = (a >> _SHIFT) * b % qq
+    lo = (a & _LOW_MASK) * b % qq
+    return ((hi << _SHIFT) + lo) % qq
+
+
+def modmul_scalar_vec(a: IntArray, s: int, q: int) -> IntArray:
+    """``(a * s) mod q`` with a scalar right operand."""
+    return modmul_vec(a, np.uint64(s % q), q)
+
+
+def modpow(base: int, exp: int, q: int) -> int:
+    """Scalar modular exponentiation (delegates to ``pow``)."""
+    return pow(base % q, exp, q)
+
+
+def modinv(a: int, q: int) -> int:
+    """Multiplicative inverse of ``a`` modulo prime or coprime ``q``."""
+    a %= q
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse")
+    g, x = _ext_gcd(a, q)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {q}")
+    return x % q
+
+
+def _ext_gcd(a: int, b: int) -> Tuple[int, int]:
+    """Return ``(gcd(a, b), x)`` with ``a*x ≡ gcd (mod b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    while r:
+        k = old_r // r
+        old_r, r = r, old_r - k * r
+        old_x, x = x, old_x - k * x
+    return old_r, old_x
+
+
+def center_lift(a: int, q: int) -> int:
+    """Map ``a mod q`` to the centered representative in ``(-q/2, q/2]``."""
+    a %= q
+    return a - q if a > q // 2 else a
+
+
+def center_lift_vec(a: IntArray, q: int) -> np.ndarray:
+    """Vectorized centered lift, returned as Python-int object array.
+
+    An object array is used because centered values for a 39-bit modulus fit
+    in int64, but callers combine limbs into >64-bit integers.
+    """
+    a = _as_u64(a)
+    out = a.astype(object)
+    half = q // 2
+    return np.where(out > half, out - q, out)
+
+
+def reduce_signed_vec(a: np.ndarray, q: int) -> IntArray:
+    """Reduce a signed integer array (any dtype, incl. object) into [0, q)."""
+    arr = np.asarray(a, dtype=object)
+    return np.asarray(np.mod(arr, q), dtype=np.uint64)
+
+
+class BarrettReducer:
+    """Generic Barrett reduction — the ablation counterpart of
+    :class:`LowHammingModulus` (Section IV-A3).
+
+    Precomputes ``mu = floor(2**(2k) / q)`` for ``k = bitlen(q)``; a
+    double-width product then reduces with two extra wide multiplies —
+    exactly the DSP cost the paper's low-Hamming moduli avoid.
+    """
+
+    def __init__(self, q: int) -> None:
+        if q < 3 or q % 2 == 0:
+            raise ValueError("modulus must be odd and > 2")
+        self.q = q
+        self.k = q.bit_length()
+        self.mu = (1 << (2 * self.k)) // q
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``0 <= x < q**2`` mod ``q`` (two multiplies, one cond sub)."""
+        if x < 0 or x >= self.q * self.q:
+            raise ValueError("Barrett input must lie in [0, q^2)")
+        approx_quotient = (x * self.mu) >> (2 * self.k)
+        r = x - approx_quotient * self.q
+        while r >= self.q:  # at most two corrections by construction
+            r -= self.q
+        return r
+
+    def mulmod(self, a: int, b: int) -> int:
+        return self.reduce((a % self.q) * (b % self.q))
+
+    #: wide multiplies a hardware Barrett unit spends per reduction
+    MULTIPLIES_PER_REDUCTION = 2
+
+
+def hamming_weight(n: int) -> int:
+    """Number of set bits of ``n``."""
+    return bin(n).count("1")
+
+
+def decompose_low_hamming(q: int) -> List[int]:
+    """Return the exponents of the set bits of ``q`` (descending).
+
+    For CHAM's ``q0 = 2**34 + 2**27 + 1`` this is ``[34, 27, 0]``: the three
+    shift amounts of the hardware reduction datapath.
+    """
+    return [i for i in range(q.bit_length() - 1, -1, -1) if (q >> i) & 1]
+
+
+@dataclass(frozen=True)
+class LowHammingModulus:
+    """Model of CHAM's shift-add modular reduction (Section IV-A3).
+
+    A modulus ``q = 2**e2 + 2**e1 + 1`` with exactly three set bits lets the
+    hardware reduce a double-width product without DSP multipliers: since
+    ``2**e2 ≡ -(2**e1 + 1) (mod q)``, high bits fold back with two shifted
+    additions per iteration.
+
+    Attributes
+    ----------
+    q:
+        The modulus.
+    exponents:
+        Set-bit positions of ``q``, descending (``[e2, e1, 0]``).
+    """
+
+    q: int
+
+    def __post_init__(self) -> None:
+        if hamming_weight(self.q) != 3:
+            raise ValueError(
+                f"modulus {self.q} has Hamming weight {hamming_weight(self.q)}; "
+                "the CHAM reduction datapath requires exactly 3 set bits"
+            )
+        if self.q & 1 == 0:
+            raise ValueError("modulus must be odd")
+
+    @property
+    def exponents(self) -> List[int]:
+        return decompose_low_hamming(self.q)
+
+    @property
+    def top_exponent(self) -> int:
+        """Position of the leading bit (``e2``), the fold boundary."""
+        return self.exponents[0]
+
+    def fold_once(self, x: int) -> int:
+        """One shift-add folding iteration: replace ``hi*2**e2`` by
+        ``-hi*(2**e1 + 1)`` which may go negative; callers iterate to a
+        fixed narrow range and then take one conditional correction."""
+        e2, e1, _ = self.exponents
+        hi, lo = x >> e2, x & ((1 << e2) - 1)
+        return lo - (hi << e1) - hi
+
+    def reduce(self, x: int) -> int:
+        """Reduce any (possibly double-width) non-negative ``x`` mod ``q``
+        using only shifts/adds, mirroring the FPGA datapath."""
+        e2 = self.top_exponent
+        # Each fold shrinks |x| by roughly e2 - e1 bits; iterate until the
+        # value fits in e2 + 1 bits, then correct into [0, q).
+        while x >= (1 << (e2 + 1)) or x < -(1 << (e2 + 1)):
+            x = self.fold_once(x) if x >= 0 else -self.fold_once(-x)
+        x %= self.q
+        return x
+
+    def shift_add_count(self, x_bits: int) -> int:
+        """Number of shift/add operations to reduce an ``x_bits``-wide value.
+
+        Used by the resource model: a generic Barrett reduction would need
+        two extra wide multipliers (DSP slices); the low-Hamming path needs
+        only this many adders.
+        """
+        e2, e1, _ = self.exponents
+        step = e2 - e1
+        excess = max(0, x_bits - e2)
+        iterations = -(-excess // step) if excess else 0
+        return 2 * iterations + 1  # two adds per fold + final correction
+
+    def mulmod(self, a: int, b: int) -> int:
+        """Scalar modular multiplication via the shift-add reduction."""
+        return self.reduce((a % self.q) * (b % self.q))

@@ -1,0 +1,194 @@
+"""Reference negacyclic NTT (the software *gold model*).
+
+This module implements the merged-twiddle negacyclic NTT of Longa-Naehrig:
+
+* forward transform: Cooley-Tukey butterflies, natural-order input,
+  bit-reversed output;
+* inverse transform: Gentleman-Sande butterflies, bit-reversed input,
+  natural-order output, with the final scaling by ``n^{-1}``.
+
+Multiplying in the transform domain computes *negacyclic* convolution, i.e.
+multiplication in ``Z_q[X]/(X^N + 1)``, with no zero-padding — the ψ
+twisting factors are folded into the twiddle tables.
+
+The hardware datapath model (:mod:`repro.math.cg_ntt` and
+:mod:`repro.hw.ntt_datapath`) is validated against this implementation,
+and this implementation is itself validated against schoolbook negacyclic
+convolution in the test-suite.
+
+All functions accept arrays of shape ``(..., n)`` and transform the last
+axis; everything is vectorized NumPy ``uint64``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from .modular import modadd_vec, modinv, modmul_vec, modsub_vec
+from .primes import negacyclic_psi
+
+__all__ = [
+    "bit_reverse",
+    "bit_reverse_indices",
+    "NegacyclicNtt",
+    "ntt",
+    "intt",
+    "negacyclic_convolution_schoolbook",
+]
+
+
+def bit_reverse(x: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``x``."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (x & 1)
+        x >>= 1
+    return out
+
+
+@lru_cache(maxsize=None)
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Permutation array ``perm`` with ``perm[i] = bit_reverse(i, log2 n)``."""
+    bits = n.bit_length() - 1
+    if 1 << bits != n:
+        raise ValueError(f"n={n} is not a power of two")
+    return np.array([bit_reverse(i, bits) for i in range(n)], dtype=np.int64)
+
+
+@lru_cache(maxsize=None)
+def _tables(n: int, q: int) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Merged twiddle tables.
+
+    Returns ``(psis, inv_psis, n_inv)`` where ``psis[i] = ψ^brv(i)`` and
+    ``inv_psis[i] = ψ^{-brv(i)}`` (brv over ``log2 n`` bits), the layout
+    the merged CT/GS butterflies index as ``table[m + i]``.
+    """
+    psi = negacyclic_psi(n, q)
+    psi_inv = modinv(psi, q)
+    bits = n.bit_length() - 1
+    psis = np.empty(n, dtype=np.uint64)
+    inv_psis = np.empty(n, dtype=np.uint64)
+    for i in range(n):
+        r = bit_reverse(i, bits)
+        psis[i] = pow(psi, r, q)
+        inv_psis[i] = pow(psi_inv, r, q)
+    return psis, inv_psis, modinv(n, q)
+
+
+class NegacyclicNtt:
+    """Negacyclic NTT context for a fixed ``(n, q)`` pair.
+
+    Parameters
+    ----------
+    n:
+        Transform length; must be a power of two.
+    q:
+        Prime modulus with ``q ≡ 1 (mod 2n)``.
+    """
+
+    def __init__(self, n: int, q: int) -> None:
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"n={n} must be a power of two >= 2")
+        if q % (2 * n) != 1:
+            raise ValueError(f"q={q} is not ≡ 1 (mod {2 * n})")
+        self.n = n
+        self.q = q
+        self._psis, self._inv_psis, self._n_inv = _tables(n, q)
+
+    # -- transforms ---------------------------------------------------------
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """NTT of ``a`` (last axis), natural order in, bit-reversed out."""
+        n, q = self.n, self.q
+        a = np.ascontiguousarray(np.asarray(a, dtype=np.uint64))
+        if a.shape[-1] != n:
+            raise ValueError(f"last axis must have length {n}")
+        shape = a.shape
+        work = a.reshape(-1, n).copy()
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            blocks = work.reshape(work.shape[0], m, 2 * t)
+            twiddle = self._psis[m : 2 * m].reshape(1, m, 1)
+            u = blocks[:, :, :t].copy()
+            v = modmul_vec(blocks[:, :, t:], twiddle, q)
+            blocks[:, :, :t] = modadd_vec(u, v, q)
+            blocks[:, :, t:] = modsub_vec(u, v, q)
+            m *= 2
+        return work.reshape(shape)
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Inverse NTT of ``a`` (last axis), bit-reversed in, natural out."""
+        n, q = self.n, self.q
+        a = np.ascontiguousarray(np.asarray(a, dtype=np.uint64))
+        if a.shape[-1] != n:
+            raise ValueError(f"last axis must have length {n}")
+        shape = a.shape
+        work = a.reshape(-1, n).copy()
+        t = 1
+        m = n // 2
+        while m >= 1:
+            blocks = work.reshape(work.shape[0], m, 2 * t)
+            twiddle = self._inv_psis[m : 2 * m].reshape(1, m, 1)
+            u = blocks[:, :, :t].copy()
+            v = blocks[:, :, t:].copy()
+            blocks[:, :, :t] = modadd_vec(u, v, q)
+            blocks[:, :, t:] = modmul_vec(modsub_vec(u, v, q), twiddle, q)
+            t *= 2
+            m //= 2
+        work = modmul_vec(work, np.uint64(self._n_inv), q)
+        return work.reshape(shape)
+
+    def pointwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient-wise product in the transform domain (MULTPOLY)."""
+        return modmul_vec(a, b, self.q)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product ``a * b mod (X^n + 1, q)`` via NTT."""
+        return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
+
+
+@lru_cache(maxsize=None)
+def _context(n: int, q: int) -> NegacyclicNtt:
+    return NegacyclicNtt(n, q)
+
+
+def ntt(a: np.ndarray, q: int) -> np.ndarray:
+    """Functional forward negacyclic NTT (context cached per ``(n, q)``)."""
+    a = np.asarray(a, dtype=np.uint64)
+    return _context(a.shape[-1], q).forward(a)
+
+
+def intt(a: np.ndarray, q: int) -> np.ndarray:
+    """Functional inverse negacyclic NTT."""
+    a = np.asarray(a, dtype=np.uint64)
+    return _context(a.shape[-1], q).inverse(a)
+
+
+def negacyclic_convolution_schoolbook(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """O(n²) negacyclic convolution — the correctness oracle for the NTTs.
+
+    ``c_k = sum_{i+j=k} a_i b_j - sum_{i+j=k+n} a_i b_j (mod q)``.
+    """
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = a.shape[-1]
+    if b.shape[-1] != n:
+        raise ValueError("length mismatch")
+    c = np.zeros(n, dtype=object)
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * int(b[j])
+            if k < n:
+                c[k] += term
+            else:
+                c[k - n] -= term
+    return np.asarray(np.mod(c, q), dtype=np.uint64)

@@ -1,0 +1,157 @@
+"""Number-theoretic helpers: primality, NTT-friendly primes, roots of unity.
+
+A negacyclic NTT over ``Z_q[X]/(X^N + 1)`` needs a primitive ``2N``-th root
+of unity mod ``q``, which exists iff ``q ≡ 1 (mod 2N)``.  CHAM's moduli
+
+* ``q0 = 2**34 + 2**27 + 1``
+* ``q1 = 2**34 + 2**19 + 1``
+* ``p  = 2**38 + 2**23 + 1``
+
+are all prime and ``≡ 1 (mod 8192)``, so they support ``N = 4096`` (and any
+smaller power of two, which the test-suite uses for fast cases).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import List
+
+__all__ = [
+    "is_prime",
+    "is_ntt_friendly",
+    "find_ntt_prime",
+    "find_low_hamming_ntt_prime",
+    "primitive_root",
+    "root_of_unity",
+    "negacyclic_psi",
+    "CHAM_Q0",
+    "CHAM_Q1",
+    "CHAM_P",
+]
+
+#: CHAM ciphertext modulus limb 0 (35-bit, Hamming weight 3).
+CHAM_Q0 = 2**34 + 2**27 + 1
+#: CHAM ciphertext modulus limb 1 (35-bit, Hamming weight 3).
+CHAM_Q1 = 2**34 + 2**19 + 1
+#: CHAM special key-switching modulus (39-bit, Hamming weight 3).
+CHAM_P = 2**38 + 2**23 + 1
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test (probabilistic, error < 4**-rounds)."""
+    if n < 2:
+        return False
+    for sp in _SMALL_PRIMES:
+        if n % sp == 0:
+            return n == sp
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(0xC4A)  # deterministic witnesses for reproducibility
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_ntt_friendly(q: int, n: int) -> bool:
+    """True iff prime ``q`` supports a negacyclic NTT of length ``n``."""
+    return q % (2 * n) == 1 and is_prime(q)
+
+
+def find_ntt_prime(bits: int, n: int, *, skip: int = 0) -> int:
+    """Smallest ``bits``-bit prime ``≡ 1 (mod 2n)``, skipping ``skip`` hits.
+
+    Used by tests and by parameter sets other than the paper's.
+    """
+    step = 2 * n
+    q = (1 << (bits - 1)) + 1
+    q += (-(q - 1)) % step  # round up to ≡ 1 (mod 2n)
+    found = 0
+    while q < (1 << bits):
+        if is_prime(q):
+            if found == skip:
+                return q
+            found += 1
+        q += step
+    raise ValueError(f"no {bits}-bit NTT prime for n={n} (skip={skip})")
+
+
+def find_low_hamming_ntt_prime(bits: int, n: int) -> int:
+    """A prime of the form ``2**(bits-1) + 2**e + 1`` that is NTT-friendly.
+
+    This is the shape CHAM selects so that modular reduction becomes three
+    shift-adds (Section IV-A3).  Raises if none exists for the given width.
+    """
+    log2n = (2 * n).bit_length() - 1
+    for e in range(log2n, bits - 1):
+        q = (1 << (bits - 1)) + (1 << e) + 1
+        if is_ntt_friendly(q, n):
+            return q
+    raise ValueError(f"no low-Hamming {bits}-bit NTT prime for n={n}")
+
+
+@lru_cache(maxsize=None)
+def _factorize(n: int) -> List[int]:
+    """Distinct prime factors of ``n`` by trial division (n is q-1, small)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+@lru_cache(maxsize=None)
+def primitive_root(q: int) -> int:
+    """Smallest primitive root modulo prime ``q``."""
+    if not is_prime(q):
+        raise ValueError(f"{q} is not prime")
+    phi = q - 1
+    factors = _factorize(phi)
+    for g in range(2, q):
+        if all(pow(g, phi // f, q) != 1 for f in factors):
+            return g
+    raise ArithmeticError("unreachable: every prime has a primitive root")
+
+
+@lru_cache(maxsize=None)
+def root_of_unity(order: int, q: int) -> int:
+    """A primitive ``order``-th root of unity modulo prime ``q``."""
+    if (q - 1) % order != 0:
+        raise ValueError(f"{q} has no order-{order} root of unity")
+    g = primitive_root(q)
+    w = pow(g, (q - 1) // order, q)
+    # sanity: w has exact order `order`
+    assert pow(w, order, q) == 1
+    for f in _factorize(order):
+        assert pow(w, order // f, q) != 1
+    return w
+
+
+def negacyclic_psi(n: int, q: int) -> int:
+    """Primitive ``2n``-th root of unity ψ with ψ**n ≡ -1 (mod q).
+
+    ψ is the twisting factor that turns cyclic convolution into negacyclic
+    convolution; ψ² is the n-th root used inside the NTT butterflies.
+    """
+    psi = root_of_unity(2 * n, q)
+    assert pow(psi, n, q) == q - 1
+    return psi

@@ -1,0 +1,245 @@
+"""Residue number system (RNS) support.
+
+CHAM keeps every polynomial in a *limb-decomposed* form: one residue
+vector per prime modulus, so that all arithmetic stays word-sized
+(Section II-F: ciphertexts live mod ``Q = q0*q1``; the *augmented* form
+adds the 39-bit special modulus ``p``).  This module provides:
+
+* :class:`RnsBasis` — an ordered tuple of NTT-friendly primes with cached
+  CRT constants;
+* exact CRT composition/decomposition (bigint, the correctness oracle);
+* *fast base extension* (approximate CRT with a float64-computed overflow
+  count, the technique hardware uses to avoid bigints) — cross-checked
+  against the exact path in the property tests;
+* RNS *rescale*: divide-and-round by the last modulus, the stage-4
+  operation of the CHAM pipeline (and the core of hybrid key-switching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .modular import modinv, modmul_vec, modsub_vec, reduce_signed_vec
+from .primes import is_ntt_friendly
+
+__all__ = ["RnsBasis", "RnsPoly"]
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """An ordered basis of pairwise-distinct NTT-friendly primes.
+
+    Parameters
+    ----------
+    moduli:
+        The primes ``(q_0, ..., q_{L-1})``.
+    n:
+        Ring degree each modulus must support (``q_i ≡ 1 mod 2n``).
+    """
+
+    moduli: Tuple[int, ...]
+    n: int
+
+    def __post_init__(self) -> None:
+        if len(set(self.moduli)) != len(self.moduli):
+            raise ValueError("RNS moduli must be distinct")
+        for q in self.moduli:
+            if not is_ntt_friendly(q, self.n):
+                raise ValueError(f"{q} is not an NTT-friendly prime for n={self.n}")
+
+    # -- cached CRT constants ------------------------------------------------
+
+    @cached_property
+    def product(self) -> int:
+        """``Q = prod(q_i)``."""
+        out = 1
+        for q in self.moduli:
+            out *= q
+        return out
+
+    @cached_property
+    def punctured(self) -> Tuple[int, ...]:
+        """``Q_i = Q / q_i``."""
+        return tuple(self.product // q for q in self.moduli)
+
+    @cached_property
+    def punctured_inv(self) -> Tuple[int, ...]:
+        """``Q_i^{-1} mod q_i`` (the CRT reconstruction weights)."""
+        return tuple(
+            modinv(qi_hat % qi, qi)
+            for qi_hat, qi in zip(self.punctured, self.moduli)
+        )
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def drop_last(self) -> "RnsBasis":
+        """The basis without its final (special) modulus."""
+        if len(self.moduli) < 2:
+            raise ValueError("cannot drop the only modulus")
+        return RnsBasis(self.moduli[:-1], self.n)
+
+    def extend(self, extra: Sequence[int]) -> "RnsBasis":
+        return RnsBasis(self.moduli + tuple(extra), self.n)
+
+    # -- conversions -----------------------------------------------------------
+
+    def decompose(self, values: np.ndarray) -> np.ndarray:
+        """Integer array (object dtype or unsigned) -> residue stack.
+
+        Returns shape ``(L, *values.shape)`` ``uint64``.
+        """
+        arr = np.asarray(values, dtype=object)
+        return np.stack(
+            [np.asarray(np.mod(arr, q), dtype=np.uint64) for q in self.moduli]
+        )
+
+    def compose(self, residues: np.ndarray) -> np.ndarray:
+        """Residue stack ``(L, ...)`` -> exact integers in ``[0, Q)``.
+
+        Bigint path (object dtype); used at API boundaries and as the
+        oracle for the fast paths.
+        """
+        residues = np.asarray(residues)
+        if residues.shape[0] != len(self.moduli):
+            raise ValueError("leading axis must index the RNS limbs")
+        acc = np.zeros(residues.shape[1:], dtype=object)
+        for i, q in enumerate(self.moduli):
+            weight = (self.punctured_inv[i] * self.punctured[i]) % self.product
+            acc = (acc + residues[i].astype(object) * weight) % self.product
+        return acc
+
+    def compose_centered(self, residues: np.ndarray) -> np.ndarray:
+        """Like :meth:`compose` but lifted to ``(-Q/2, Q/2]`` (object ints)."""
+        vals = self.compose(residues)
+        half = self.product // 2
+        return np.where(vals > half, vals - self.product, vals)
+
+    # -- fast base extension ---------------------------------------------------
+
+    def extend_to(self, residues: np.ndarray, targets: Sequence[int]) -> np.ndarray:
+        """Fast base extension of centered values to additional moduli.
+
+        Given residues of ``x mod Q`` (interpreted centered, i.e. as the
+        representative in ``(-Q/2, Q/2]``), compute ``x mod t`` for each
+        target ``t`` **without bigints**: the float-corrected CRT of
+        Halevi-Polyakov-Shoup.  With word-sized limbs the fractional
+        accumulator ``sum(y_i / q_i)`` is exact to ~2^-18, far below the
+        0.5 decision threshold except for adversarially-close inputs,
+        which random ciphertexts avoid; the exact path exists for
+        cross-checking.
+
+        Returns shape ``(len(targets), ...)``.
+        """
+        residues = np.asarray(residues, dtype=np.uint64)
+        if residues.shape[0] != len(self.moduli):
+            raise ValueError("leading axis must index the RNS limbs")
+        # y_i = [x * Q_i^{-1}]_{q_i}
+        ys = np.stack(
+            [
+                modmul_vec(residues[i], np.uint64(self.punctured_inv[i]), q)
+                for i, q in enumerate(self.moduli)
+            ]
+        )
+        # v = round(sum y_i / q_i): how many multiples of Q the CRT sum
+        # overshoots by (centered convention -> round, not floor).
+        frac = sum(
+            ys[i].astype(np.float64) / float(q) for i, q in enumerate(self.moduli)
+        )
+        v = np.rint(frac).astype(np.int64)
+        out = []
+        for t in targets:
+            acc = np.zeros(residues.shape[1:], dtype=np.uint64)
+            for i, q in enumerate(self.moduli):
+                acc = (acc + modmul_vec(ys[i] % np.uint64(t), np.uint64(self.punctured[i] % t), t)) % np.uint64(t)
+            correction = modmul_vec(
+                reduce_signed_vec(v, t), np.uint64(self.product % t), t
+            )
+            out.append(modsub_vec(acc, correction, t))
+        return np.stack(out)
+
+    def extend_to_exact(self, residues: np.ndarray, targets: Sequence[int]) -> np.ndarray:
+        """Bigint oracle for :meth:`extend_to` (centered convention)."""
+        vals = self.compose_centered(residues)
+        return np.stack(
+            [np.asarray(np.mod(vals, t), dtype=np.uint64) for t in targets]
+        )
+
+    # -- rescale ----------------------------------------------------------------
+
+    def rescale_last(self, residues: np.ndarray) -> np.ndarray:
+        """Divide-and-round by the last modulus, entirely in RNS.
+
+        Given ``x mod (q_0...q_{L-2}, p)`` (``p`` the last modulus), return
+        residues of ``round(x / p)`` in the basis without ``p``:
+
+        ``round(x/p) ≡ (x - [x]_p) * p^{-1} (mod q_i)``
+
+        with ``[x]_p`` the *centered* remainder so the division rounds to
+        nearest.  This is CHAM's stage-4 RESCALE and the final step of
+        hybrid key-switching.
+        """
+        residues = np.asarray(residues, dtype=np.uint64)
+        if residues.shape[0] != len(self.moduli):
+            raise ValueError("leading axis must index the RNS limbs")
+        p = self.moduli[-1]
+        xp = residues[-1]
+        half = np.uint64(p // 2)
+        out = []
+        for i, q in enumerate(self.moduli[:-1]):
+            p_inv = np.uint64(modinv(p % q, q))
+            # centered remainder of x mod p, reduced into [0, q)
+            rem = np.where(
+                xp > half,
+                # negative centered value: xp - p ≡ xp + (q - p mod q)
+                (xp % np.uint64(q) + np.uint64(q - p % q)) % np.uint64(q),
+                xp % np.uint64(q),
+            )
+            diff = modsub_vec(residues[i], rem, q)
+            out.append(modmul_vec(diff, p_inv, q))
+        return np.stack(out)
+
+
+@dataclass
+class RnsPoly:
+    """A ring polynomial stored as a stack of per-limb residue vectors.
+
+    This is the workhorse representation of the HE layer: shape
+    ``(L, n)`` ``uint64``, limb ``i`` holding the coefficients mod
+    ``basis.moduli[i]``.
+    """
+
+    basis: RnsBasis
+    limbs: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.limbs = np.asarray(self.limbs, dtype=np.uint64)
+        if self.limbs.shape != (len(self.basis), self.basis.n):
+            raise ValueError(
+                f"limbs shape {self.limbs.shape} != "
+                f"({len(self.basis)}, {self.basis.n})"
+            )
+
+    @classmethod
+    def zero(cls, basis: RnsBasis) -> "RnsPoly":
+        return cls(basis, np.zeros((len(basis), basis.n), dtype=np.uint64))
+
+    @classmethod
+    def from_int_coeffs(cls, basis: RnsBasis, coeffs: np.ndarray) -> "RnsPoly":
+        """Build from (possibly signed / bigint) integer coefficients."""
+        return cls(basis, basis.decompose(np.asarray(coeffs, dtype=object)))
+
+    def to_int_coeffs(self) -> np.ndarray:
+        """Exact coefficients in ``[0, Q)`` (object ints)."""
+        return self.basis.compose(self.limbs)
+
+    def to_centered_coeffs(self) -> np.ndarray:
+        """Exact coefficients centered in ``(-Q/2, Q/2]``."""
+        return self.basis.compose_centered(self.limbs)

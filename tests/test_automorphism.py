@@ -1,0 +1,70 @@
+"""Tests for homomorphic Galois automorphisms."""
+
+import numpy as np
+import pytest
+
+from repro.he.automorphism import apply_automorphism, apply_automorphism_with_key
+from repro.he.encoder import CoefficientEncoder
+from repro.he.keys import generate_galois_key
+from repro.he.rlwe import decrypt, encrypt
+from repro.math.polynomial import automorph
+
+
+@pytest.fixture(scope="module")
+def enc(params128):
+    return CoefficientEncoder(params128)
+
+
+@pytest.mark.parametrize("g", [3, 5, 9, 17, 129])
+def test_automorphism_matches_plaintext_map(ctx128, sk128, galois128, enc, rng, g):
+    vals = rng.integers(-(1 << 20), 1 << 20, 128)
+    pt = enc.encode_coeffs(vals)
+    ct = encrypt(ctx128, sk128, pt, augmented=False)
+    out = apply_automorphism(ct, g, galois128)
+    want = automorph(pt.coeffs, g, ctx128.t)
+    assert np.array_equal(decrypt(ctx128, sk128, out).coeffs, want)
+
+
+def test_automorphism_with_explicit_key(ctx128, sk128, enc, rng):
+    g = 7  # an element outside the pack set
+    key = generate_galois_key(ctx128, sk128, g)
+    pt = enc.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx128, sk128, pt, augmented=False)
+    out = apply_automorphism_with_key(ct, g, key)
+    assert np.array_equal(
+        decrypt(ctx128, sk128, out).coeffs, automorph(pt.coeffs, g, ctx128.t)
+    )
+
+
+def test_automorphism_composes(ctx128, sk128, galois128, enc, rng):
+    pt = enc.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx128, sk128, pt, augmented=False)
+    once = apply_automorphism(apply_automorphism(ct, 3, galois128), 3, galois128)
+    want = automorph(automorph(pt.coeffs, 3, ctx128.t), 3, ctx128.t)
+    assert np.array_equal(decrypt(ctx128, sk128, once).coeffs, want)
+
+
+def test_pack_element_fixes_slots(ctx128, sk128, galois128, enc):
+    """g = 2^k + 1 fixes slot positions j*N/2^k with sign (-1)^j —
+    the property PACKTWOLWES relies on."""
+    n = 128
+    k = 3
+    g = (1 << k) + 1
+    stride = n >> k
+    coeffs = np.zeros(n, dtype=np.int64)
+    for j in range(1 << k):
+        coeffs[j * stride] = j + 1
+    pt = enc.encode_coeffs(coeffs)
+    ct = encrypt(ctx128, sk128, pt, augmented=False)
+    out = decrypt(ctx128, sk128, apply_automorphism(ct, g, galois128))
+    got = out.centered()
+    for j in range(1 << k):
+        sign = 1 if j % 2 == 0 else -1
+        assert got[j * stride] == sign * (j + 1), f"slot {j}"
+
+
+def test_missing_key_raises(ctx128, sk128, galois128, enc, rng):
+    pt = enc.encode_coeffs(rng.integers(-10, 10, 128))
+    ct = encrypt(ctx128, sk128, pt, augmented=False)
+    with pytest.raises(KeyError):
+        apply_automorphism(ct, 11, galois128)

@@ -1,0 +1,151 @@
+"""Tests for the batch-encoded baseline HMVPs (Section II-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    BaselineHmvp,
+    BatchEncoder,
+    batch_friendly_plain_modulus,
+    diagonal_op_count,
+    rotate_and_sum_op_count,
+)
+from repro.he.bfv import BfvScheme
+from repro.he.params import CheParams
+
+
+@pytest.fixture(scope="module")
+def batch_scheme():
+    t = batch_friendly_plain_modulus(128, 20)
+    return BfvScheme(CheParams(n=128, plain_modulus=t), seed=13, max_pack=2)
+
+
+@pytest.fixture(scope="module")
+def baseline(batch_scheme):
+    return BaselineHmvp(batch_scheme)
+
+
+def test_batch_friendly_modulus():
+    t = batch_friendly_plain_modulus(128, 20)
+    assert t % 256 == 1
+    from repro.math.primes import is_prime
+
+    assert is_prime(t)
+
+
+def test_encoder_rejects_unfriendly_modulus():
+    with pytest.raises(ValueError, match="not ≡ 1"):
+        BatchEncoder(CheParams(n=128, plain_modulus=(1 << 40) + 15))
+
+
+def test_encode_decode_roundtrip(baseline, rng):
+    v = rng.integers(-100, 100, 64)
+    pt = baseline.encoder.encode(v)
+    assert np.array_equal(baseline.encoder.decode(pt, 64), v.astype(object))
+
+
+def test_encode_too_many_values(baseline):
+    with pytest.raises(ValueError):
+        baseline.encoder.encode(np.zeros(65))
+
+
+def test_slot_product_is_pointwise(baseline, rng):
+    enc = baseline.encoder
+    a = rng.integers(-10, 10, 64)
+    b = rng.integers(-10, 10, 64)
+    from repro.math.ntt import NegacyclicNtt
+
+    ntt = NegacyclicNtt(128, enc.t)
+    prod = ntt.multiply(enc.encode(a).coeffs, enc.encode(b).coeffs)
+    from repro.he.encoder import Plaintext
+
+    got = enc.decode(Plaintext(prod, enc.t), 64)
+    assert np.array_equal(got, (a * b).astype(object))
+
+
+def test_encrypted_rotation(baseline, batch_scheme, rng):
+    v = rng.integers(-50, 50, 64)
+    ct = baseline.encrypt_slots(v)
+    for r in (1, 3, 17):
+        rot = baseline.rotate(ct, r)
+        got = baseline.encoder.decode(batch_scheme.decrypt_plaintext(rot), 64)
+        assert np.array_equal(got, np.roll(v, -r).astype(object)), f"r={r}"
+
+
+def test_rotation_element_wraps(baseline):
+    assert baseline.encoder.rotation_element(0) == 1
+    assert baseline.encoder.rotation_element(64) == 1  # full cycle at n/2
+
+
+def test_rotate_and_sum_hmvp(baseline, rng):
+    a = rng.integers(-8, 8, (4, 64))
+    v = rng.integers(-8, 8, 64)
+    ct = baseline.encrypt_slots(v)
+    outs = baseline.rotate_and_sum(a, ct)
+    got = baseline.decode_rotate_and_sum(outs)
+    assert np.array_equal(got, a.astype(object) @ v.astype(object))
+
+
+def test_rotate_and_sum_rejects_long_rows(baseline, rng):
+    with pytest.raises(ValueError):
+        baseline.rotate_and_sum(np.zeros((2, 65)), baseline.encrypt_slots([1]))
+
+
+def test_diagonal_hmvp(baseline, rng):
+    a = rng.integers(-8, 8, (4, 16))
+    v = rng.integers(-8, 8, 16)
+    ct = baseline.encrypt_slots_replicated(v)
+    out = baseline.diagonal(a, ct)
+    got = baseline.decode_diagonal(out, 4)
+    assert np.array_equal(got, a.astype(object) @ v.astype(object))
+
+
+def test_diagonal_square(baseline, rng):
+    a = rng.integers(-8, 8, (8, 8))
+    v = rng.integers(-8, 8, 8)
+    out = baseline.diagonal(a, baseline.encrypt_slots_replicated(v))
+    got = baseline.decode_diagonal(out, 8)
+    assert np.array_equal(got, a.astype(object) @ v.astype(object))
+
+
+def test_diagonal_layout_validation(baseline, rng):
+    with pytest.raises(ValueError, match="m <= n_cols"):
+        baseline.diagonal(np.zeros((8, 4)), baseline.encrypt_slots([0]))
+    with pytest.raises(ValueError, match="m \\| n_cols"):
+        baseline.diagonal(np.zeros((3, 16)), baseline.encrypt_slots([0]))
+
+
+def test_replication_validation(baseline):
+    with pytest.raises(ValueError, match="divide"):
+        baseline.encrypt_slots_replicated(np.zeros(3))
+
+
+# -- op-count models ----------------------------------------------------------------
+
+
+def test_rotate_and_sum_scales_m_log_n():
+    small = rotate_and_sum_op_count(16, 4096, 2, 3)
+    big = rotate_and_sum_op_count(32, 4096, 2, 3)
+    assert big.automorphisms == 2 * small.automorphisms
+    # log2(4096/2) = 11 rotations per row
+    assert small.automorphisms == 16 * 11
+
+
+def test_diagonal_scales_m():
+    c = diagonal_op_count(64, 64, 2, 3)
+    assert c.automorphisms == 63  # m-1 diagonal rotations, no fold needed
+    c2 = diagonal_op_count(64, 256, 2, 3)
+    assert c2.automorphisms == 63 + 2  # + log2(256/64) fold rotations
+
+
+def test_coefficient_beats_baselines_in_keyswitches():
+    """The paper's core §II-E claim, in key-switch counts."""
+    from repro.core.complexity import batch_cost, coefficient_cost, diagonal_cost
+
+    m, n = 4096, 4096
+    coeff = coefficient_cost(m, n, 4096)
+    batch = batch_cost(m, n, 4096)
+    diag = diagonal_cost(m, n, 4096)
+    assert coeff.rotations == 0
+    assert batch.he_ops > diag.he_ops > coeff.he_ops * 1.5
+    assert coeff.keyswitches <= diag.keyswitches

@@ -1,0 +1,123 @@
+"""Tests for batched (multi-vector) HMVP."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchedHmvp
+from repro.core.hmvp import hmvp
+
+
+@pytest.fixture(scope="module")
+def matrix(rng_module):
+    return rng_module.integers(-40, 40, (6, 128))
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(0xBA7C)
+
+
+def test_batched_matches_single(scheme128, matrix, rng_module):
+    batched = BatchedHmvp(scheme128, matrix)
+    v = rng_module.integers(-40, 40, 128)
+    ct = scheme128.encrypt_vector(v)
+    got = batched.multiply_one(ct).decrypt(scheme128)
+    want = matrix.astype(object) @ v.astype(object)
+    assert np.array_equal(got, want)
+    # and agrees with the uncached path
+    ref = hmvp(scheme128, matrix, scheme128.encrypt_vector(v)).decrypt(scheme128)
+    assert np.array_equal(got, ref)
+
+
+def test_batch_of_vectors(scheme128, matrix, rng_module):
+    batched = BatchedHmvp(scheme128, matrix)
+    vs = [rng_module.integers(-40, 40, 128) for _ in range(3)]
+    cts = [scheme128.encrypt_vector(v) for v in vs]
+    results = batched.multiply_batch(cts)
+    for res, v in zip(results, vs):
+        assert np.array_equal(
+            res.decrypt(scheme128), matrix.astype(object) @ v.astype(object)
+        )
+
+
+def test_cached_ntt_savings(scheme128, matrix, rng_module):
+    """The batched path skips the per-vector row transforms."""
+    batched = BatchedHmvp(scheme128, matrix)
+    v = rng_module.integers(-10, 10, 128)
+    ct = scheme128.encrypt_vector(v)
+    cached_ops = batched.multiply_one(ct).ops
+    uncached_ops = hmvp(scheme128, matrix, scheme128.encrypt_vector(v)).ops
+    assert cached_ops.ntts < uncached_ops.ntts
+    # exactly the m*limbs_aug row transforms are saved per vector
+    m = matrix.shape[0]
+    assert uncached_ops.ntts - cached_ops.ntts == m * 3
+
+
+def test_amortized_op_count(scheme128, matrix):
+    batched = BatchedHmvp(scheme128, matrix)
+    one = batched.amortized_op_count(1)
+    ten = batched.amortized_op_count(10)
+    # encode cost appears once; per-vector cost scales linearly
+    per_vec = (ten.ntts - one.ntts) / 9
+    assert per_vec < one.ntts  # encode ntts amortized away
+    assert ten.dot_products == 10 * matrix.shape[0]
+
+
+def test_rejects_bad_inputs(scheme128, rng_module):
+    with pytest.raises(ValueError):
+        BatchedHmvp(scheme128, np.zeros(128))
+    with pytest.raises(ValueError):
+        BatchedHmvp(scheme128, np.zeros((129, 10)))
+    batched = BatchedHmvp(scheme128, rng_module.integers(-5, 5, (2, 128)))
+    ct = scheme128.encrypt_vector([1], augmented=False)
+    with pytest.raises(ValueError, match="augmented"):
+        batched.multiply_one(ct)
+
+
+def test_shape_property(scheme128, matrix):
+    assert BatchedHmvp(scheme128, matrix).shape == (6, 128)
+
+
+# -- encrypted matrix-matrix products ------------------------------------------
+
+
+def test_encrypted_matmul_exact(scheme128, rng_module):
+    from repro.core.matmul import EncryptedMatmul
+
+    a = rng_module.integers(-20, 20, (5, 128))
+    b = rng_module.integers(-20, 20, (128, 3))
+    mm = EncryptedMatmul(scheme128, a)
+    got = mm(b)
+    want = a.astype(object) @ b.astype(object)
+    assert np.array_equal(got, want)
+    assert got.shape == (5, 3)
+
+
+def test_encrypted_matmul_dimension_check(scheme128, rng_module):
+    from repro.core.matmul import EncryptedMatmul
+
+    mm = EncryptedMatmul(scheme128, rng_module.integers(-5, 5, (4, 128)))
+    with pytest.raises(ValueError, match="inner dimensions"):
+        mm.encrypt_matrix(rng_module.integers(-5, 5, (64, 2)))
+    with pytest.raises(ValueError, match="2-D"):
+        mm.encrypt_matrix(rng_module.integers(-5, 5, 128))
+
+
+def test_encrypted_matmul_columns_decrypt_independently(scheme128, rng_module):
+    from repro.core.matmul import EncryptedMatmul
+
+    a = rng_module.integers(-10, 10, (6, 128))
+    b = rng_module.integers(-10, 10, (128, 2))
+    mm = EncryptedMatmul(scheme128, a)
+    results = mm.multiply(mm.encrypt_matrix(b))
+    col0 = results[0].decrypt(scheme128)
+    assert np.array_equal(col0, a.astype(object) @ b[:, 0].astype(object))
+
+
+def test_encrypted_matmul_op_count_scales(scheme128, rng_module):
+    from repro.core.matmul import EncryptedMatmul
+
+    mm = EncryptedMatmul(scheme128, rng_module.integers(-5, 5, (4, 128)))
+    one = mm.op_count(1)
+    four = mm.op_count(4)
+    assert four.dot_products == 4 * one.dot_products

@@ -1,0 +1,138 @@
+"""Tests for the BGV scheme and the BFV<->BGV embedding switches."""
+
+import numpy as np
+import pytest
+
+from repro.he.bfv import BfvScheme
+from repro.he.bgv import BgvScheme, bfv_to_bgv, bgv_to_bfv, conversion_factor
+from repro.he.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def schemes():
+    params = toy_params(n=128, plain_bits=40)
+    bfv = BfvScheme(params, seed=81, max_pack=2)
+    bgv = BgvScheme(params, seed=82, shared_secret=bfv.secret_key)
+    return bfv, bgv
+
+
+def _center(x, t):
+    half = t // 2
+    return np.where(x > half, x - t, x)
+
+
+def test_encrypt_decrypt(schemes, rng):
+    _bfv, bgv = schemes
+    vals = rng.integers(-(1 << 30), 1 << 30, 128)
+    ct = bgv.encrypt_vector(vals)
+    assert np.array_equal(bgv.decrypt_coeffs(ct, 128), vals)
+
+
+def test_fresh_noise_small(schemes, rng):
+    _bfv, bgv = schemes
+    ct = bgv.encrypt_vector(rng.integers(-10, 10, 128))
+    assert 0 < bgv.noise_bits(ct) < 8
+
+
+def test_homomorphic_addition(schemes, rng):
+    _bfv, bgv = schemes
+    a = rng.integers(-500, 500, 128)
+    b = rng.integers(-500, 500, 128)
+    ct = bgv.add(bgv.encrypt_vector(a), bgv.encrypt_vector(b))
+    assert np.array_equal(bgv.decrypt_coeffs(ct, 128), a + b)
+
+
+def test_dot_product(schemes, rng):
+    _bfv, bgv = schemes
+    v = rng.integers(-50, 50, 128)
+    row = rng.integers(-50, 50, 128)
+    dp = bgv.dot_product(bgv.encrypt_vector(v), row)
+    got = int(bgv.decrypt_coeffs(dp, 1)[0])
+    assert got == int(np.dot(row.astype(object), v.astype(object)))
+
+
+def test_decrypt_rejects_augmented(schemes, rng):
+    bfv, bgv = schemes
+    ct = bfv.encrypt_vector([1, 2], augmented=True)
+    with pytest.raises(ValueError, match="normal basis"):
+        bgv.decrypt(ct)
+
+
+def test_conversion_factors_are_inverse(schemes):
+    bfv, _bgv = schemes
+    t = bfv.params.plain_modulus
+    f1 = conversion_factor(bfv.params, "bgv->bfv")
+    f2 = conversion_factor(bfv.params, "bfv->bgv")
+    assert f1 * f2 % t == 1
+    with pytest.raises(ValueError):
+        conversion_factor(bfv.params, "sideways")
+
+
+def test_bgv_to_bfv_message_map(schemes, rng):
+    bfv, bgv = schemes
+    t = bfv.params.plain_modulus
+    vals = rng.integers(-1000, 1000, 128)
+    converted = bgv_to_bfv(bgv, bgv.encrypt_vector(vals))
+    dec = bfv.decrypt_coeffs(converted, 128)
+    f = conversion_factor(bfv.params, "bgv->bfv")
+    want = _center((vals.astype(object) * f) % t, t)
+    assert np.array_equal(np.array([int(x) for x in dec], dtype=object), want)
+
+
+def test_conversion_preserves_noise(schemes, rng):
+    bfv, bgv = schemes
+    ct = bgv.encrypt_vector(rng.integers(-100, 100, 128))
+    before = bgv.noise_bits(ct)
+    after = bfv.noise_bits(bgv_to_bfv(bgv, ct))
+    assert after == pytest.approx(before, abs=1.0)
+
+
+def test_roundtrip_is_identity(schemes, rng):
+    bfv, bgv = schemes
+    vals = rng.integers(-1000, 1000, 128)
+    ct = bgv.encrypt_vector(vals)
+    back = bfv_to_bgv(bfv, bgv_to_bfv(bgv, ct))
+    assert np.array_equal(bgv.decrypt_coeffs(back, 128), vals)
+
+
+def test_bfv_to_bgv_then_bgv_arithmetic(schemes, rng):
+    """Convert a BFV ciphertext and keep computing in the BGV domain."""
+    bfv, bgv = schemes
+    t = bfv.params.plain_modulus
+    vals = rng.integers(-100, 100, 128)
+    ct = bfv.encrypt_vector(vals, augmented=False)
+    as_bgv = bfv_to_bgv(bfv, ct)
+    doubled = bgv.add(as_bgv, as_bgv)
+    f = conversion_factor(bfv.params, "bfv->bgv")
+    want = _center((2 * vals.astype(object) * f) % t, t)
+    got = bgv.decrypt_coeffs(doubled, 128)
+    assert np.array_equal(np.array([int(x) for x in got], dtype=object), want)
+
+
+def test_bfv_to_bgv_rejects_augmented(schemes, rng):
+    bfv, _bgv = schemes
+    ct = bfv.encrypt_vector([1], augmented=True)
+    with pytest.raises(ValueError):
+        bfv_to_bgv(bfv, ct)
+
+
+def test_three_scheme_shared_key(schemes, rng):
+    """BFV, BGV and CKKS instances on one secret key — the hybrid
+    deployment the paper's introduction motivates."""
+    from repro.he.ckks import CkksScheme
+
+    bfv, bgv = schemes
+    ckks = CkksScheme(
+        bfv.params, seed=83, shared_secret=bfv.secret_key, max_pack=2
+    )
+    vals = rng.integers(-100, 100, 16)
+    assert np.array_equal(
+        bgv.decrypt_coeffs(bgv.encrypt_vector(vals), 16), vals
+    )
+    assert np.array_equal(
+        bfv.decrypt_coeffs(bfv.encrypt_vector(vals, augmented=False), 16), vals
+    )
+    out = ckks.decrypt_coeffs(
+        ckks.encrypt_coeffs(vals.astype(float), augmented=False), 16
+    )
+    assert np.max(np.abs(out - vals)) < 1e-4

@@ -1,0 +1,135 @@
+"""Tests for the constant-geometry (Pease) NTT — Algorithm 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.cg_ntt import (
+    CgNtt,
+    cg_ntt_cycles,
+    constant_geometry_schedule,
+)
+from repro.math.ntt import NegacyclicNtt, negacyclic_convolution_schoolbook
+from repro.math.primes import CHAM_P, CHAM_Q0, CHAM_Q1
+
+MODULI = [CHAM_Q0, CHAM_Q1, CHAM_P]
+
+
+@pytest.mark.parametrize("q", MODULI)
+@pytest.mark.parametrize("n", [4, 16, 64, 256])
+def test_forward_matches_gold_after_permutation(q, n, rng):
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    cg = CgNtt(n, q)
+    gold = NegacyclicNtt(n, q)
+    assert np.array_equal(cg.to_gold_order(cg.forward(a)), gold.forward(a))
+
+
+@pytest.mark.parametrize("q", MODULI)
+@pytest.mark.parametrize("n", [8, 64, 512])
+def test_roundtrip(q, n, rng):
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    cg = CgNtt(n, q)
+    assert np.array_equal(cg.inverse(cg.forward(a)), a)
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_multiply_matches_schoolbook(n, rng):
+    q = CHAM_Q0
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    b = rng.integers(0, q, n, dtype=np.uint64)
+    cg = CgNtt(n, q)
+    assert np.array_equal(
+        cg.multiply(a, b), negacyclic_convolution_schoolbook(a, b, q)
+    )
+
+
+def test_schedule_shapes():
+    sched = constant_geometry_schedule(64, CHAM_Q0)
+    assert sched.twiddles.shape == (6, 32)
+    assert sched.inv_twiddles.shape == (6, 32)
+    assert sched.output_perm.shape == (64,)
+    # output_perm is a permutation
+    assert sorted(sched.output_perm) == list(range(64))
+
+
+def test_schedule_inverse_twiddles():
+    sched = constant_geometry_schedule(32, CHAM_Q1)
+    prod = (
+        sched.twiddles.astype(object) * sched.inv_twiddles.astype(object)
+    ) % CHAM_Q1
+    assert (prod == 1).all()
+
+
+def test_stage_zero_uses_single_twiddle():
+    """Stage 0 of the merged CT network uses ψ^brv(1) for every butterfly."""
+    sched = constant_geometry_schedule(64, CHAM_Q0)
+    assert len(set(int(w) for w in sched.twiddles[0])) == 1
+
+
+def test_total_distinct_twiddles_at_most_n():
+    """Section IV-A2: 'the size of twiddle factors is equal to ... N'."""
+    sched = constant_geometry_schedule(64, CHAM_Q0)
+    distinct = set(int(w) for w in sched.twiddles.reshape(-1))
+    assert len(distinct) <= 64
+
+
+def test_rom_bank_contents_partition_schedule():
+    sched = constant_geometry_schedule(64, CHAM_Q0)
+    banks = sched.rom_bank_contents(4)
+    assert len(banks) == 4
+    # each bank holds (n/2 * log2 n)/4 words
+    assert all(len(b) == 32 * 6 // 4 for b in banks)
+    # interleaving the banks reconstructs each stage's schedule
+    for stage in range(6):
+        per_stage = 32 // 4
+        rebuilt = np.empty(32, dtype=np.uint64)
+        for b in range(4):
+            rebuilt[b::4] = banks[b][stage * per_stage : (stage + 1) * per_stage]
+        assert np.array_equal(rebuilt, sched.twiddles[stage])
+
+
+def test_rom_bank_bad_split():
+    sched = constant_geometry_schedule(16, CHAM_Q0)
+    with pytest.raises(ValueError):
+        sched.rom_bank_contents(3)
+
+
+def test_cg_cycles_production_point():
+    """Table III: 6144 cycles for N=4096 with 4 BFUs."""
+    assert cg_ntt_cycles(4096, 4) == 6144
+    assert cg_ntt_cycles(4096, 8) == 3072
+    assert cg_ntt_cycles(4096, 2) == 12288
+
+
+def test_cg_cycles_validation():
+    with pytest.raises(ValueError):
+        cg_ntt_cycles(100, 4)
+    with pytest.raises(ValueError):
+        cg_ntt_cycles(16, 7)
+
+
+def test_batch_forward(rng):
+    q = CHAM_Q0
+    cg = CgNtt(32, q)
+    batch = rng.integers(0, q, (4, 32), dtype=np.uint64)
+    out = cg.forward(batch)
+    for i in range(4):
+        assert np.array_equal(out[i], cg.forward(batch[i]))
+
+
+def test_rejects_bad_length(rng):
+    cg = CgNtt(32, CHAM_Q0)
+    with pytest.raises(ValueError):
+        cg.forward(rng.integers(0, 5, 16, dtype=np.uint64))
+    with pytest.raises(ValueError):
+        cg.inverse(rng.integers(0, 5, 64, dtype=np.uint64))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=CHAM_P - 1), min_size=16, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_cg_equals_gold_property(coeffs):
+    a = np.array(coeffs, dtype=np.uint64)
+    cg = CgNtt(16, CHAM_P)
+    gold = NegacyclicNtt(16, CHAM_P)
+    assert np.array_equal(cg.to_gold_order(cg.forward(a)), gold.forward(a))

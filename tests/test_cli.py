@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_demo(capsys):
+    assert main(["demo", "--rows", "4", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "correct=True" in out
+    assert "slot budget" in out
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "195" in out  # NTT offload anchor
+    assert "roofline" in out
+
+
+def test_trace(capsys):
+    assert main(["trace", "--rows", "8", "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "dot    |" in out
+    assert "pack L1" in out
+
+
+def test_params_default(capsys):
+    assert main(["params"]) == 0
+    out = capsys.readouterr().out
+    assert "n=4096" in out
+    assert "0x408000001" in out  # CHAM_Q0
+
+
+def test_params_generated(capsys):
+    assert main(
+        ["params", "--n", "256", "--limbs", "2", "--plain-bits", "20"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "n=256" in out
+
+
+def test_dse(capsys):
+    assert main(["dse", "--rows", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "frontier" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_compare(capsys):
+    assert main(["compare"]) == 0
+    out = capsys.readouterr().out
+    assert "CHAM" in out and "HEAX" in out and "F1" in out
+
+
+def test_energy(capsys):
+    assert main(["energy", "--rows", "2048", "--cols", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "CHAM" in out and "J" in out
+
+
+def test_report_stdout(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "# CHAM reproduction report" in out
+    assert "Table II" in out
+    assert "195" in out
+    assert "HeteroLR end-to-end" in out
+
+
+def test_report_to_file(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(["report", "-o", str(target)]) == 0
+    text = target.read_text()
+    assert "roofline" in text
+    assert "Beaver" in text

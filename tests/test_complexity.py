@@ -1,0 +1,65 @@
+"""Tests for the §II-E complexity models."""
+
+import pytest
+
+from repro.core.complexity import batch_cost, coefficient_cost, diagonal_cost
+
+
+def test_coefficient_is_o_of_m():
+    """Doubling m doubles coefficient-encoding HE ops (no log factor)."""
+    a = coefficient_cost(1024, 1024, 4096)
+    b = coefficient_cost(2048, 1024, 4096)
+    assert b.he_ops == 2 * a.he_ops
+
+
+def test_batch_is_o_of_m_log_n():
+    a = batch_cost(1024, 4096, 4096)
+    b = batch_cost(2048, 4096, 4096)
+    assert b.he_ops == 2 * a.he_ops
+    # per-row factor is log2-sized
+    per_row = a.he_ops / 1024
+    assert 10 <= per_row <= 14  # log2(4096/2) + the multiply
+
+
+def test_ordering_matches_paper():
+    """batch > diagonal > coefficient at every evaluated shape."""
+    for m, n in [(512, 512), (4096, 4096), (8192, 4096), (1024, 8192)]:
+        c = coefficient_cost(m, n, 4096)
+        d = diagonal_cost(m, n, 4096)
+        b = batch_cost(m, n, 4096)
+        assert b.he_ops > d.he_ops >= c.he_ops, (m, n)
+
+
+def test_coefficient_has_no_rotations():
+    c = coefficient_cost(4096, 4096, 4096)
+    assert c.rotations == 0
+    assert c.keyswitches == 4095  # one per pack reduction
+
+
+def test_diagonal_rotations_scale_with_m():
+    d1 = diagonal_cost(512, 4096, 4096)
+    d2 = diagonal_cost(1024, 4096, 4096)
+    assert d2.rotations > 1.9 * d1.rotations
+
+
+def test_column_tiling_multiplies_cost():
+    one = coefficient_cost(1024, 4096, 4096)
+    two = coefficient_cost(1024, 8192, 4096)
+    assert two.he_ops == 2 * one.he_ops
+
+
+def test_row_tiling_coefficient():
+    one = coefficient_cost(4096, 256, 4096)
+    two = coefficient_cost(8192, 256, 4096)
+    assert two.ops.pack_reductions == 2 * one.ops.pack_reductions
+
+
+def test_cost_names():
+    assert coefficient_cost(8, 8, 4096).name == "coefficient"
+    assert batch_cost(8, 8, 4096).name == "batch"
+    assert diagonal_cost(8, 8, 4096).name == "diagonal"
+
+
+def test_he_ops_is_mults_plus_rotations():
+    d = diagonal_cost(64, 512, 4096)
+    assert d.he_ops == d.he_multiplies + d.rotations

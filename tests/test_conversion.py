@@ -1,0 +1,160 @@
+"""Tests for ciphertext-type and scheme conversions."""
+
+import numpy as np
+import pytest
+
+from repro.he.bfv import BfvScheme
+from repro.he.ckks import CkksScheme
+from repro.he.conversion import bfv_to_ckks, ckks_to_bfv, max_exact_message
+from repro.he.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def schemes():
+    params = toy_params(n=128, plain_bits=40)
+    bfv = BfvScheme(params, seed=31, max_pack=8)
+    ckks = CkksScheme(params, seed=32, shared_secret=bfv.secret_key, max_pack=8)
+    return bfv, ckks
+
+
+def test_bfv_to_ckks_is_exact_reinterpretation(schemes, rng):
+    bfv, ckks = schemes
+    ints = rng.integers(-1000, 1000, 128)
+    ct = bfv.encrypt_vector(ints, augmented=False)
+    converted = bfv_to_ckks(bfv, ct)
+    out = ckks.decrypt_coeffs(converted, 128)
+    assert np.max(np.abs(out - ints)) < 1e-3
+
+
+def test_bfv_to_ckks_augmented(schemes, rng):
+    bfv, ckks = schemes
+    ints = rng.integers(-100, 100, 16)
+    ct = bfv.encrypt_vector(ints, augmented=True)
+    out = ckks.decrypt_coeffs(bfv_to_ckks(bfv, ct), 16)
+    assert np.max(np.abs(out - ints)) < 1e-3
+
+
+def test_bfv_to_ckks_then_real_arithmetic(schemes, rng):
+    """Convert an exact BFV ciphertext, then do approximate CKKS work —
+    the hybrid-pipeline pattern of CHIMERA/PEGASUS."""
+    bfv, ckks = schemes
+    ints = rng.integers(-50, 50, 128)
+    ct = bfv.encrypt_vector(ints, augmented=True)
+    converted = bfv_to_ckks(bfv, ct)
+    row = rng.normal(0, 1, 128)
+    dp = ckks.dot_product(converted, row)
+    got = ckks.decrypt_coeffs(dp, 1)[0]
+    assert abs(got - float(row @ ints)) < 0.05 * max(abs(float(row @ ints)), 1)
+
+
+def test_ckks_to_bfv_exact_in_bound(schemes, rng):
+    bfv, ckks = schemes
+    scale = float(2**15)
+    bound = max_exact_message(bfv, scale)
+    assert bound > 1000
+    ints = rng.integers(-min(bound // 2, 500), min(bound // 2, 500), 64)
+    ct = ckks.encrypt_coeffs(ints.astype(float), scale=scale, augmented=False)
+    back = ckks_to_bfv(bfv, ct)
+    dec = bfv.decrypt_coeffs(back, 64)
+    assert np.array_equal(np.array([int(x) for x in dec]), ints)
+
+
+def test_roundtrip_bfv_ckks_bfv(schemes, rng):
+    bfv, ckks = schemes
+    ints = rng.integers(-200, 200, 32)
+    ct = bfv.encrypt_vector(ints, augmented=False)
+    converted = bfv_to_ckks(bfv, ct)
+    # scale M/t is the BFV lattice spacing: conversion back uses k=1
+    back = ckks_to_bfv(bfv, converted)
+    dec = bfv.decrypt_coeffs(back, 32)
+    assert np.array_equal(np.array([int(x) for x in dec]), ints)
+
+
+def test_ckks_to_bfv_rejects_slot_encoding(schemes):
+    bfv, ckks = schemes
+    ct = ckks.encrypt_slots([1.0])
+    with pytest.raises(ValueError, match="coefficient"):
+        ckks_to_bfv(bfv, ct)
+
+
+def test_ckks_to_bfv_rejects_oversized_scale(schemes):
+    bfv, ckks = schemes
+    huge = float(bfv.params.q_product)  # scale beyond M/t
+    ct = ckks.encrypt_coeffs([1.0], scale=2.0**60, augmented=False)
+    with pytest.raises(ValueError, match="lattice spacing"):
+        ckks_to_bfv(bfv, ct)
+    del huge
+
+
+def test_max_exact_message_scaling(schemes):
+    bfv, _ = schemes
+    assert max_exact_message(bfv, 2.0**10) == pytest.approx(
+        32 * max_exact_message(bfv, 2.0**15), rel=1e-3
+    )
+
+
+def test_full_hybrid_pipeline(schemes, rng):
+    """BFV dot products -> pack -> convert -> CKKS real rescaling: the
+    kind of mixed pipeline the paper's introduction motivates."""
+    bfv, ckks = schemes
+    v = rng.integers(-30, 30, 128)
+    ct = bfv.encrypt_vector(v)
+    rows = [rng.integers(-30, 30, 128) for _ in range(4)]
+    lwes = [bfv.extract(bfv.dot_product(ct, r)) for r in rows]
+    packed = bfv.pack(lwes)
+    want_ints = [int(np.dot(r.astype(object), v.astype(object))) for r in rows]
+    # move the packed exact result into the approximate domain
+    converted = bfv_to_ckks(bfv, packed.ct)
+    # the pack scaled messages by 2^levels; that is scale bookkeeping here
+    converted.scale *= 1 << packed.scale_pow2
+    raw = ckks.decrypt_raw(converted)
+    stride = 128 >> packed.scale_pow2
+    got = raw[: 4 * stride : stride] / converted.scale
+    assert np.max(np.abs(got - np.array(want_ints, dtype=float))) < 1e-2
+
+
+# -- property tests over the conversion toolkit ----------------------------------
+
+
+def test_bfv_ckks_roundtrip_property(schemes):
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    bfv, ckks = schemes
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def inner(seed):
+        import numpy as np
+
+        r = np.random.default_rng(seed)
+        ints = r.integers(-300, 300, 32)
+        ct = bfv.encrypt_vector(ints, augmented=False)
+        back = ckks_to_bfv(bfv, bfv_to_ckks(bfv, ct))
+        dec = bfv.decrypt_coeffs(back, 32)
+        assert np.array_equal(np.array([int(x) for x in dec]), ints)
+
+    inner()
+
+
+def test_bgv_roundtrip_property(schemes):
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.he.bgv import BgvScheme, bfv_to_bgv, bgv_to_bfv
+
+    bfv, _ = schemes
+    bgv = BgvScheme(bfv.params, seed=99, shared_secret=bfv.secret_key)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=8, deadline=None)
+    def inner(seed):
+        import numpy as np
+
+        r = np.random.default_rng(seed)
+        ints = r.integers(-(1 << 20), 1 << 20, 32)
+        ct = bgv.encrypt_vector(ints)
+        back = bfv_to_bgv(bfv, bgv_to_bfv(bgv, ct))
+        assert np.array_equal(bgv.decrypt_coeffs(back, 32), ints)
+
+    inner()

@@ -1,0 +1,79 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import make_digit_images, make_vertical_dataset
+
+
+def test_vertical_dataset_shapes():
+    data = make_vertical_dataset(100, 10, seed=0)
+    assert data.features_a.shape == (100, 5)
+    assert data.features_b.shape == (100, 5)
+    assert data.labels.shape == (100,)
+    assert data.n_samples == 100
+    assert data.n_features == 10
+    assert data.full_features.shape == (100, 10)
+
+
+def test_vertical_dataset_split_fraction():
+    data = make_vertical_dataset(50, 10, party_a_fraction=0.3, seed=0)
+    assert data.features_a.shape[1] == 3
+    assert data.features_b.shape[1] == 7
+
+
+def test_labels_binary_and_balancedish():
+    data = make_vertical_dataset(2000, 8, seed=1)
+    assert set(np.unique(data.labels)).issubset({0, 1})
+    frac = data.labels.mean()
+    assert 0.3 < frac < 0.7
+
+
+def test_task_is_learnable():
+    """The generating weights must separate the data reasonably well."""
+    data = make_vertical_dataset(1000, 16, seed=2)
+    z = data.full_features @ data.true_weights
+    acc = np.mean((z > 0) == (data.labels == 1))
+    assert acc > 0.8
+
+
+def test_features_are_clipped():
+    data = make_vertical_dataset(500, 6, seed=3)
+    assert np.abs(data.full_features).max() <= 4.0
+
+
+def test_batches_cover_everything():
+    data = make_vertical_dataset(100, 4, seed=4)
+    seen = 0
+    for sl, xa, xb, y in data.batches(32):
+        assert xa.shape[0] == xb.shape[0] == y.shape[0]
+        seen += y.shape[0]
+    assert seen == 100
+
+
+def test_reproducibility():
+    a = make_vertical_dataset(20, 4, seed=7)
+    b = make_vertical_dataset(20, 4, seed=7)
+    assert np.array_equal(a.full_features, b.full_features)
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_requires_two_features():
+    with pytest.raises(ValueError):
+        make_vertical_dataset(10, 1)
+
+
+def test_digit_images():
+    imgs, labels = make_digit_images(10, size=12, seed=0)
+    assert imgs.shape == (10, 12, 12)
+    assert imgs.min() >= 0 and imgs.max() <= 31
+    assert set(np.unique(labels)).issubset({0, 1})
+
+
+def test_digit_images_classes_differ():
+    imgs, labels = make_digit_images(50, size=12, seed=1)
+    zeros = imgs[labels == 0]
+    ones = imgs[labels == 1]
+    # class 0 is bright top-left, class 1 bright bottom-right
+    assert zeros[:, :4, :4].mean() > zeros[:, -4:, -4:].mean()
+    assert ones[:, -4:, -4:].mean() > ones[:, :4, :4].mean()

@@ -1,0 +1,84 @@
+"""Tests for the Delphi-style secure inference protocol."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import make_digit_images
+from repro.apps.delphi import DelphiInference
+from repro.apps.inference import TinyModel
+
+
+@pytest.fixture(scope="module")
+def protocol(scheme256):
+    model = TinyModel.random(12, classes=2, seed=41)
+    proto = DelphiInference(scheme256, model, 12, seed=42)
+    proto.offline()
+    return proto
+
+
+def test_online_matches_clear_model(protocol):
+    imgs, _ = make_digit_images(4, 12, seed=43)
+    for img in imgs:
+        got = protocol.online(img)
+        want = protocol.model.predict_clear(img)
+        assert np.array_equal(got, want)
+
+
+def test_online_requires_offline(scheme256):
+    proto = DelphiInference(
+        scheme256, TinyModel.random(12, seed=1), 12, seed=2
+    )
+    with pytest.raises(RuntimeError, match="offline"):
+        proto.online(np.zeros((12, 12), dtype=np.int64))
+
+
+def test_server_never_sees_plaintext_image(protocol):
+    """Every client->server online message is masked: uniformly random
+    given the image (here: differs from the raw image)."""
+    imgs, _ = make_digit_images(1, 12, seed=44)
+    protocol.online(imgs[0])
+    masked = [
+        m.payload
+        for m in protocol.channel.log
+        if m.label == "online/conv/masked"
+    ][-1]
+    raw = np.mod(imgs[0].astype(object), protocol.t)
+    assert not np.array_equal(masked, raw)
+
+
+def test_shares_reconstruct_only_jointly(protocol):
+    """Neither correlation share alone reveals Conv(r)."""
+    corr = protocol._conv_corr
+    t = protocol.t
+    from repro.core.conv import conv2d_reference
+
+    true = np.mod(
+        conv2d_reference(corr.r, protocol.model.kernel), t
+    )
+    assert not np.array_equal(np.mod(corr.c, t), true)
+    assert not np.array_equal(np.mod(corr.s, t), true)
+    assert np.array_equal(np.mod(corr.c + corr.s, t), true)
+
+
+def test_communication_split(protocol):
+    """Offline carries the ciphertexts; online only cleartext shares —
+    Delphi's entire point, visible in the byte split."""
+    imgs, _ = make_digit_images(1, 12, seed=45)
+    protocol.online(imgs[0])
+    summary = protocol.communication_summary()
+    per_online_run = 4
+    online_msgs = [m for m in protocol.channel.log if m.label.startswith("online")]
+    assert len(online_msgs) % per_online_run == 0
+    # one online pass is much lighter than the offline phase
+    one_online = sum(m.size for m in online_msgs[:4])
+    assert one_online < summary["offline_bytes"] / 3
+    assert summary["rounds"] >= 4
+
+
+def test_fc_correlation_shares(protocol):
+    corr = protocol._fc_corr
+    t = protocol.t
+    true = np.mod(
+        protocol.model.fc.astype(object) @ corr.r.astype(object), t
+    )
+    assert np.array_equal(np.mod(corr.c + corr.s, t), true)

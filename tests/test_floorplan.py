@@ -1,0 +1,66 @@
+"""Tests for the SLR floorplan model (Fig. 5)."""
+
+import pytest
+
+from repro.hw.arch import ChamConfig, cham_default_config
+from repro.hw.floorplan import SLR_COUNT, auto_floorplan, plan_cham
+
+
+def test_paper_plan_structure():
+    plan = plan_cham()
+    assert plan.assignment["platform"] == 1  # middle die (PCIe column)
+    assert plan.assignment["engine0"] != plan.assignment["engine1"]
+    assert plan.assignment["engine0"] != 1
+    assert plan.assignment["engine1"] != 1
+
+
+def test_paper_plan_is_feasible():
+    plan = plan_cham()
+    assert plan.feasible()
+    assert plan.sll_feasible()
+
+
+def test_per_slr_utilization_below_caps():
+    plan = plan_cham()
+    for util in plan.slr_utilizations():
+        assert util["LUT"] <= 0.75
+        assert util["BRAM"] <= 0.95
+        assert util["URAM"] <= 0.95
+
+
+def test_both_engines_in_one_slr_fails():
+    """The placement is forced: two engines in one die blow its BRAM."""
+    plan = plan_cham()
+    plan.assignment["engine1"] = plan.assignment["engine0"]
+    assert not plan.feasible()
+
+
+def test_auto_floorplan_matches_paper_shape():
+    auto = plan_cham().assignment
+    greedy = auto_floorplan().assignment
+    # greedy also separates the engines and keeps the platform pinned
+    assert greedy["platform"] == 1
+    assert greedy["engine0"] != greedy["engine1"]
+    del auto
+
+
+def test_sll_crossings_scale_with_distance():
+    plan = plan_cham()
+    near = plan.sll_crossings()  # engines adjacent to the middle shell
+    plan.assignment["engine0"] = 0
+    plan.assignment["engine1"] = 0
+    plan.assignment["platform"] = 2  # both engines two hops from the shell
+    far = plan.sll_crossings()
+    assert far > near
+
+
+def test_three_engine_plan_infeasible():
+    plan = plan_cham(ChamConfig(engines=3))
+    # one SLR must host an engine + platform: over budget
+    assert not plan.feasible()
+
+
+def test_slr_capacity_sums_to_device():
+    plan = plan_cham()
+    cap = plan.slr_capacity()
+    assert cap.lut * SLR_COUNT == pytest.approx(plan.device.luts, rel=0.01)

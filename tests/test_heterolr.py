@@ -1,0 +1,149 @@
+"""Tests for the HeteroLR protocol (Fig. 7 workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import make_vertical_dataset
+from repro.apps.heterolr import (
+    BfvBackend,
+    HeteroLrTrainer,
+    LrConfig,
+    PaillierBackend,
+    PlainBackend,
+    sigmoid,
+    taylor_sigmoid,
+)
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_vertical_dataset(96, 12, seed=1)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return LrConfig(epochs=3, batch_size=32, learning_rate=0.3)
+
+
+@pytest.fixture(scope="module")
+def plain_result(data, cfg):
+    return HeteroLrTrainer(PlainBackend(), cfg).train(data)
+
+
+def test_sigmoid_approximation():
+    z = np.linspace(-1, 1, 11)
+    assert np.allclose(taylor_sigmoid(z), 0.25 * z + 0.5)
+    assert np.max(np.abs(taylor_sigmoid(z) - sigmoid(z))) < 0.02
+
+
+def test_plain_training_learns(plain_result):
+    _w, hist = plain_result
+    assert hist.accuracies[-1] > 0.85
+    assert hist.losses[-1] < hist.losses[0] + 1e-9
+
+
+def test_bfv_matches_plain(data, cfg, plain_result):
+    w_plain, _ = plain_result
+    scheme = BfvScheme(toy_params(n=64, plain_bits=40), seed=3, max_pack=64)
+    w_bfv, hist = HeteroLrTrainer(BfvBackend(scheme), cfg).train(data)
+    assert np.allclose(w_bfv, w_plain, atol=1e-2)
+    assert hist.accuracies[-1] > 0.85
+
+
+def test_paillier_matches_plain(data, cfg, plain_result):
+    w_plain, _ = plain_result
+    backend = PaillierBackend(key_bits=256, seed=2)
+    w_pail, hist = HeteroLrTrainer(backend, cfg).train(data)
+    assert np.allclose(w_pail, w_plain, atol=1e-2)
+    assert hist.accuracies[-1] > 0.85
+
+
+def test_bfv_op_counts(data, cfg):
+    scheme = BfvScheme(toy_params(n=64, plain_bits=40), seed=5, max_pack=64)
+    backend = BfvBackend(scheme)
+    HeteroLrTrainer(backend, cfg).train(data)
+    batches_per_epoch = 3  # 96 / 32
+    total_batches = cfg.epochs * batches_per_epoch
+    counts = backend.counts
+    assert counts.matvecs == 2 * total_batches  # one per party per batch
+    assert counts.encryptions == total_batches  # party A encrypts e once
+    # the 96-sample batch spans 32/64: one ciphertext tile per batch
+    assert counts.ct_additions == total_batches
+
+
+def test_l2_regularization_changes_weights(data):
+    cfg_l2 = LrConfig(epochs=2, batch_size=32, learning_rate=0.3, l2=0.5)
+    cfg_no = LrConfig(epochs=2, batch_size=32, learning_rate=0.3)
+    w_l2, _ = HeteroLrTrainer(PlainBackend(), cfg_l2).train(data)
+    w_no, _ = HeteroLrTrainer(PlainBackend(), cfg_no).train(data)
+    assert np.linalg.norm(w_l2) < np.linalg.norm(w_no)
+
+
+def test_fixed_point_precision_bound(data):
+    """BFV gradients differ from float gradients only by quantization."""
+    cfg1 = LrConfig(epochs=1, batch_size=96, learning_rate=0.5, frac_bits=13)
+    scheme = BfvScheme(toy_params(n=128, plain_bits=40), seed=6, max_pack=128)
+    w_b, _ = HeteroLrTrainer(BfvBackend(scheme, frac_bits=13), cfg1).train(data)
+    w_p, _ = HeteroLrTrainer(PlainBackend(), cfg1).train(data)
+    assert np.max(np.abs(w_b - w_p)) < 1e-3
+
+
+def test_counts_merge():
+    from repro.apps.heterolr import StepCounts
+
+    a = StepCounts(encryptions=2, matvecs=1)
+    b = StepCounts(encryptions=3, decryptions=4)
+    a.merge(b)
+    assert a.encryptions == 5 and a.decryptions == 4 and a.matvecs == 1
+
+
+def test_masking_does_not_change_results(data, cfg):
+    """Gradient blinding is exact in Z_t: masked and unmasked runs agree."""
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+
+    s1 = BfvScheme(toy_params(n=64, plain_bits=40), seed=9, max_pack=64)
+    s2 = BfvScheme(toy_params(n=64, plain_bits=40), seed=9, max_pack=64)
+    w_masked, _ = HeteroLrTrainer(
+        BfvBackend(s1, mask_gradients=True), cfg
+    ).train(data)
+    w_plain, _ = HeteroLrTrainer(
+        BfvBackend(s2, mask_gradients=False), cfg
+    ).train(data)
+    assert np.allclose(w_masked, w_plain, atol=1e-12)
+
+
+def test_mask_blinds_arbiter_view(data):
+    """What the arbiter decrypts under masking is NOT the true gradient."""
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+
+    scheme = BfvScheme(toy_params(n=64, plain_bits=40), seed=10, max_pack=64)
+    backend = BfvBackend(scheme, mask_gradients=True)
+    rng = np.random.default_rng(0)
+    e = rng.normal(0, 1, 64)
+    enc = backend.encrypt_residual(e)
+    x = rng.normal(0, 1, (64, 6))
+    result = backend.gradient(x, enc)
+    # the raw (unmasked) decryption equals the true fixed-point gradient;
+    # with masking the arbiter-visible plaintext is uniformly shifted
+    raw = result.decrypt(scheme)
+    masked_view_differs = False
+    t = scheme.params.plain_modulus
+    pack = result.packs[0]
+    mask = np.ones(pack.count, dtype=object) * 12345
+    coeffs = np.zeros(scheme.params.n, dtype=object)
+    stride = scheme.params.n >> pack.scale_pow2
+    for i in range(pack.count):
+        coeffs[i * stride] = int(mask[i]) * (1 << pack.scale_pow2) % t
+    blinded = pack.ct.add_plain(scheme.encoder.encode_coeffs(coeffs))
+    seen = scheme.encoder.decode_packed(
+        scheme.decrypt_plaintext(blinded), pack.count, pack.scale_pow2
+    )
+    masked_view_differs = not np.array_equal(
+        np.mod(np.asarray(seen, dtype=object), t),
+        np.mod(np.asarray(raw, dtype=object), t),
+    )
+    assert masked_view_differs

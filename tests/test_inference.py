@@ -1,0 +1,62 @@
+"""Tests for private linear-layer inference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import make_digit_images
+from repro.apps.inference import PrivateInference, TinyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyModel.random(image_size=12, classes=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def protocol(scheme256, model):
+    return PrivateInference(scheme256, model, image_size=12)
+
+
+def test_model_shapes(model):
+    assert model.kernel.shape == (3, 3)
+    assert model.fc.shape == (2, 100)  # (12-2)^2 features
+
+
+def test_end_to_end_matches_clear(protocol, model):
+    imgs, _labels = make_digit_images(3, 12, seed=5)
+    for img in imgs:
+        got = protocol.run(img)
+        assert np.array_equal(got, model.predict_clear(img))
+
+
+def test_conv_stage_alone(protocol, model, rng):
+    img = rng.integers(0, 32, (12, 12))
+    ct = protocol.client_encrypt_image(img)
+    fm = protocol.client_decrypt_feature_map(protocol.server_conv(ct))
+    from repro.core.conv import conv2d_reference
+
+    assert np.array_equal(fm, conv2d_reference(img, model.kernel))
+
+
+def test_fc_stage_alone(protocol, model, rng):
+    act = rng.integers(0, 50, 100)
+    ct = protocol.client_encrypt_activations(act)
+    logits = protocol.client_decrypt_logits(protocol.server_fc(ct))
+    assert np.array_equal(logits, model.fc.astype(object) @ act.astype(object))
+
+
+def test_relu_stage(protocol):
+    fm = np.array([[-5, 3], [0, -1]], dtype=object)
+    assert np.array_equal(
+        protocol.client_nonlinear(fm), np.array([[0, 3], [0, 0]], dtype=object)
+    )
+
+
+def test_predictions_separate_classes(protocol, model):
+    """The homomorphic pipeline preserves whatever signal the model has:
+    predictions agree with the cleartext model on every image."""
+    imgs, _ = make_digit_images(4, 12, seed=9)
+    for img in imgs:
+        enc_pred = int(np.argmax(protocol.run(img)))
+        clear_pred = int(np.argmax(model.predict_clear(img)))
+        assert enc_pred == clear_pred

@@ -1,0 +1,118 @@
+"""Tests for the driver command stream (ISA)."""
+
+import pytest
+
+from repro.hw.isa import Command, CommandStream, Opcode, StreamExecutor, compile_hmvp
+from repro.hw.pipeline import MacroPipeline
+from repro.hw.arch import cham_default_config
+
+
+def test_compile_counts_single_tile():
+    stream = compile_hmvp(8)
+    assert stream.count(Opcode.LOAD_KSK) == 1
+    assert stream.count(Opcode.LOAD_VECTOR) == 1
+    assert stream.count(Opcode.DOT_PRODUCT) == 8
+    assert stream.count(Opcode.LWE_AGGREGATE) == 0
+    assert stream.count(Opcode.PACK_REDUCE) == 7
+    assert stream.count(Opcode.READ_RESULT) == 1
+
+
+def test_compile_counts_multi_tile():
+    stream = compile_hmvp(8, col_tiles=3)
+    assert stream.count(Opcode.LOAD_VECTOR) == 3
+    assert stream.count(Opcode.DOT_PRODUCT) == 24
+    assert stream.count(Opcode.LWE_AGGREGATE) == 16  # (tiles-1) per row
+
+
+def test_compile_4096_reductions():
+    """The paper's 4095 reductions appear as PACK_REDUCE commands."""
+    stream = compile_hmvp(4096)
+    assert stream.count(Opcode.PACK_REDUCE) == 4095
+
+
+def test_pack_levels_follow_tree():
+    stream = compile_hmvp(8)
+    levels = [c.operand for c in stream.commands if c.opcode is Opcode.PACK_REDUCE]
+    assert sorted(levels) == [1, 1, 1, 1, 2, 2, 3]
+
+
+def test_compile_validation():
+    with pytest.raises(ValueError):
+        compile_hmvp(0)
+    with pytest.raises(ValueError):
+        compile_hmvp(4, col_tiles=0)
+
+
+def test_executor_accepts_compiled_streams():
+    ex = StreamExecutor()
+    for rows, tiles in [(1, 1), (5, 1), (16, 2), (128, 1)]:
+        report = ex.execute(compile_hmvp(rows, tiles))
+        assert report.dot_products == rows * tiles
+        assert report.cycles > 0
+
+
+def test_executor_cycles_match_pipeline():
+    cfg = cham_default_config()
+    ex = StreamExecutor(cfg)
+    report = ex.execute(compile_hmvp(256))
+    expect = MacroPipeline(cfg.engine).simulate_hmvp(256).total_cycles
+    assert report.cycles == expect
+
+
+def test_validator_rejects_dot_before_vector():
+    stream = CommandStream(rows=1, col_tiles=1)
+    stream.commands = [
+        Command(Opcode.LOAD_KSK),
+        Command(Opcode.DOT_PRODUCT, operand=0, tile=0),
+    ]
+    with pytest.raises(ValueError, match="LOAD_VECTOR"):
+        StreamExecutor().validate(stream)
+
+
+def test_validator_rejects_pack_before_ksk():
+    stream = CommandStream(rows=2, col_tiles=1)
+    stream.commands = [
+        Command(Opcode.LOAD_VECTOR, tile=0),
+        Command(Opcode.DOT_PRODUCT, operand=0),
+        Command(Opcode.DOT_PRODUCT, operand=1),
+        Command(Opcode.PACK_REDUCE, operand=1),
+    ]
+    with pytest.raises(ValueError, match="LOAD_KSK"):
+        StreamExecutor().validate(stream)
+
+
+def test_validator_rejects_wrong_reduction_count():
+    stream = compile_hmvp(8)
+    stream.commands = [
+        c for c in stream.commands if c.opcode is not Opcode.PACK_REDUCE
+    ][:-1] + [Command(Opcode.PACK_REDUCE, operand=1), Command(Opcode.READ_RESULT)]
+    with pytest.raises(ValueError, match="reductions"):
+        StreamExecutor().validate(stream)
+
+
+def test_validator_rejects_missing_rows():
+    stream = compile_hmvp(4)
+    stream.commands = [
+        c
+        for c in stream.commands
+        if not (c.opcode is Opcode.DOT_PRODUCT and c.operand == 3)
+    ]
+    with pytest.raises(ValueError, match="every row|reductions"):
+        StreamExecutor().validate(stream)
+
+
+def test_aggregate_requires_prior_dot():
+    stream = CommandStream(rows=1, col_tiles=2)
+    stream.commands = [
+        Command(Opcode.LOAD_KSK),
+        Command(Opcode.LOAD_VECTOR, tile=0),
+        Command(Opcode.LOAD_VECTOR, tile=1),
+        Command(Opcode.LWE_AGGREGATE, operand=0, tile=1),
+    ]
+    with pytest.raises(ValueError, match="aggregate"):
+        StreamExecutor().validate(stream)
+
+
+def test_stream_len():
+    stream = compile_hmvp(2)
+    assert len(stream) == 1 + 1 + 2 + 1 + 1  # ksk, vec, 2 dots, 1 reduce, read

@@ -1,0 +1,97 @@
+"""Tests for key material."""
+
+import numpy as np
+import pytest
+
+from repro.he.keys import (
+    GaloisKeyset,
+    generate_galois_keyset,
+    generate_keyswitch_key,
+    generate_public_key,
+    generate_secret_key,
+    pack_galois_elements,
+)
+
+
+def test_secret_key_is_ternary(ctx128):
+    sk = generate_secret_key(ctx128)
+    assert set(np.unique(sk.signed)).issubset({-1, 0, 1})
+    assert sk.signed.shape == (128,)
+    assert 0 < sk.hamming_weight <= 128
+
+
+def test_secret_key_limb_cache(ctx128, sk128):
+    limbs1 = sk128.limbs(ctx128, ctx128.ct_basis)
+    limbs2 = sk128.limbs(ctx128, ctx128.ct_basis)
+    assert limbs1 is limbs2  # cached
+    assert limbs1.shape == (2, 128)
+    aug = sk128.limbs(ctx128, ctx128.aug_basis)
+    assert aug.shape == (3, 128)
+    # the first two limbs agree between bases
+    assert np.array_equal(aug[:2], limbs1)
+
+
+def test_secret_key_ntt_cache(ctx128, sk128):
+    ntt1 = sk128.ntt_limbs(ctx128, ctx128.aug_basis)
+    assert ntt1.shape == (3, 128)
+    back = ctx128.intt_limbs(ntt1, ctx128.aug_basis)
+    assert np.array_equal(back, sk128.limbs(ctx128, ctx128.aug_basis))
+
+
+def test_automorphed_secret(ctx128, sk128):
+    from repro.math.polynomial import automorph
+
+    g = 5
+    rot = sk128.automorphed(g)
+    # compare against the modular automorphism of the reduced key
+    q = ctx128.ct_basis.moduli[0]
+    want = automorph(sk128.limbs(ctx128, ctx128.ct_basis)[0], g, q)
+    got = ctx128.signed_to_limbs(rot.signed, ctx128.ct_basis)[0]
+    assert np.array_equal(got, want)
+
+
+def test_public_key_is_encryption_of_zero(ctx128, sk128, pk128):
+    """pk.b + pk.a * s must be small (the error) in every limb."""
+    basis = ctx128.aug_basis
+    s = sk128.limbs(ctx128, basis)
+    a_s = ctx128.negacyclic_multiply(pk128.a, s, basis)
+    from repro.math.modular import modadd_vec
+
+    total = np.stack(
+        [modadd_vec(pk128.b[i], a_s[i], q) for i, q in enumerate(basis)]
+    )
+    phase = basis.compose_centered(total)
+    worst = max(abs(int(v)) for v in phase)
+    assert worst < 64  # a few sigma of the error distribution
+
+
+def test_keyswitch_key_shape(ctx128, sk128):
+    other = generate_secret_key(ctx128)
+    ksk = generate_keyswitch_key(ctx128, other, sk128)
+    assert ksk.decomp_count == 2  # dnum = number of ciphertext limbs
+    for part in ksk.b_ntt + ksk.a_ntt:
+        assert part.shape == (3, 128)  # augmented basis
+
+
+def test_pack_galois_elements_full():
+    assert pack_galois_elements(16) == [3, 5, 9, 17]
+
+
+def test_pack_galois_elements_bounded():
+    assert pack_galois_elements(4096, max_count=8) == [3, 5, 9]
+    assert pack_galois_elements(4096, max_count=1) == []
+    assert pack_galois_elements(4096, max_count=2) == [3]
+
+
+def test_galois_keyset_lookup(ctx128, sk128):
+    ks = generate_galois_keyset(ctx128, sk128, [3, 5])
+    assert 3 in ks and 5 in ks and 9 not in ks
+    with pytest.raises(KeyError, match="missing Galois key"):
+        _ = ks[9]
+
+
+def test_galois_keyset_default_elements(ctx128, sk128):
+    ks = generate_galois_keyset(ctx128, sk128)
+    # full pack of n=128 needs log2(128)=7 levels
+    assert len(ks.keys) == 7
+    assert (1 << 7) + 1 in ks

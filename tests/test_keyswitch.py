@@ -1,0 +1,89 @@
+"""Tests for RNS-hybrid key-switching."""
+
+import numpy as np
+import pytest
+
+from repro.he.encoder import CoefficientEncoder
+from repro.he.keys import generate_keyswitch_key, generate_secret_key
+from repro.he.keyswitch import apply_keyswitch, key_switch_raw
+from repro.he.noise import NoiseModel, absolute_noise_bits
+from repro.he.rlwe import decrypt, encrypt
+
+
+@pytest.fixture(scope="module")
+def enc(params128):
+    return CoefficientEncoder(params128)
+
+
+@pytest.fixture(scope="module")
+def other_key(ctx128):
+    return generate_secret_key(ctx128)
+
+
+@pytest.fixture(scope="module")
+def ksk(ctx128, sk128, other_key):
+    return generate_keyswitch_key(ctx128, other_key, sk128)
+
+
+def test_keyswitch_preserves_message(ctx128, sk128, other_key, ksk, enc, rng):
+    vals = rng.integers(-(1 << 30), 1 << 30, 128)
+    pt = enc.encode_coeffs(vals)
+    ct = encrypt(ctx128, other_key, pt, augmented=False)
+    switched = apply_keyswitch(ct, ksk)
+    assert decrypt(ctx128, sk128, switched) == pt
+
+
+def test_keyswitch_noise_is_word_sized(ctx128, sk128, other_key, ksk, enc, rng):
+    pt = enc.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx128, other_key, pt, augmented=False)
+    switched = apply_keyswitch(ct, ksk)
+    measured = absolute_noise_bits(ctx128, sk128, switched)
+    model = NoiseModel.for_context(ctx128)
+    predicted = model.keyswitch(dnum=2, q_max=max(ctx128.params.ct_moduli))
+    import math
+
+    assert measured < math.log2(predicted) + 6  # generous envelope
+    assert measured < 20  # far from the ~29-bit budget edge
+
+
+def test_keyswitch_rejects_augmented(ctx128, sk128, other_key, ksk, enc, rng):
+    pt = enc.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx128, other_key, pt, augmented=True)
+    with pytest.raises(ValueError, match="normal-basis"):
+        apply_keyswitch(ct, ksk)
+
+
+def test_key_switch_raw_rewrites_secret_term(ctx128, sk128, other_key, ksk, rng):
+    """d0 + d1*s ≈ c*s_src for a random polynomial c."""
+    basis = ctx128.ct_basis
+    c = np.stack(
+        [rng.integers(0, q, 128, dtype=np.uint64) for q in basis]
+    )
+    d0, d1 = key_switch_raw(ctx128, c, ksk)
+    s = sk128.limbs(ctx128, basis)
+    src = other_key.limbs(ctx128, basis)
+    from repro.math.modular import modadd_vec, modsub_vec
+
+    d1_s = ctx128.negacyclic_multiply(d1, s, basis)
+    lhs = np.stack([modadd_vec(d0[i], d1_s[i], q) for i, q in enumerate(basis)])
+    rhs = ctx128.negacyclic_multiply(c, src, basis)
+    diff = np.stack([modsub_vec(lhs[i], rhs[i], q) for i, q in enumerate(basis)])
+    err = basis.compose_centered(diff)
+    worst = max(abs(int(v)) for v in err)
+    assert 0 < worst < 1 << 20  # small additive noise, never exact
+
+
+def test_key_switch_raw_shape_check(ctx128, ksk):
+    with pytest.raises(ValueError):
+        key_switch_raw(ctx128, np.zeros((3, 128), np.uint64), ksk)
+
+
+def test_switch_to_same_key_is_identityish(ctx128, sk128, enc, rng):
+    """A ksk from s to s acts as a (noisy) refresh."""
+    ksk_self = generate_keyswitch_key(ctx128, sk128, sk128)
+    pt = enc.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx128, sk128, pt, augmented=False)
+    out = apply_keyswitch(ct, ksk_self)
+    assert decrypt(ctx128, sk128, out) == pt
+    # the mask must actually change (it is rebuilt from the key)
+    assert not np.array_equal(out.c1, ct.c1)

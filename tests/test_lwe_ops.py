@@ -1,0 +1,146 @@
+"""Tests for LWE modulus switching and LWE→LWE key switching."""
+
+import numpy as np
+import pytest
+
+from repro.he.encoder import CoefficientEncoder
+from repro.he.lwe import extract_lwe
+from repro.he.lwe_ops import (
+    PlainLwe,
+    decrypt_plain_lwe,
+    generate_lwe_keyswitch_key,
+    lwe_keyswitch,
+    lwe_modswitch,
+)
+from repro.he.rlwe import encrypt
+
+
+# modulus switching needs q_new >> t to retain message precision, so
+# these tests use a small plaintext modulus (t ~ 2^16 against q' = 2^32)
+@pytest.fixture(scope="module")
+def small_t_setup():
+    from repro.he.context import CheContext
+    from repro.he.keys import generate_secret_key
+    from repro.he.params import toy_params
+
+    params = toy_params(n=128, plain_bits=16)
+    ctx = CheContext(params, seed=2024)
+    sk = generate_secret_key(ctx)
+    return ctx, sk, CoefficientEncoder(params)
+
+
+@pytest.fixture()
+def ctx16(small_t_setup):
+    return small_t_setup[0]
+
+
+@pytest.fixture()
+def sk16(small_t_setup):
+    return small_t_setup[1]
+
+
+@pytest.fixture()
+def enc16(small_t_setup):
+    return small_t_setup[2]
+
+
+def make_lwe(ctx, sk, encoder, rng, value):
+    coeffs = rng.integers(-1000, 1000, 128)
+    coeffs[0] = value
+    ct = encrypt(ctx, sk, encoder.encode_coeffs(coeffs), augmented=False)
+    return extract_lwe(ct, 0)
+
+
+def test_modswitch_preserves_message(ctx16, sk16, enc16, rng):
+    for value in (-900, 0, 1, 777):
+        lwe = make_lwe(ctx16, sk16, enc16, rng, value)
+        small = lwe_modswitch(lwe, 1 << 32)
+        got = decrypt_plain_lwe(ctx16, sk16.signed, small)
+        assert got == value, value
+
+
+def test_modswitch_rejects_upward(ctx16, sk16, enc16, rng):
+    lwe = make_lwe(ctx16, sk16, enc16, rng, 5)
+    with pytest.raises(ValueError):
+        lwe_modswitch(lwe, ctx16.ct_basis.product * 2)
+
+
+def test_modswitch_shrinks_wire_size(ctx16, sk16, enc16, rng):
+    """The point of the exercise: (dim+1) words instead of RNS vectors."""
+    lwe = make_lwe(ctx16, sk16, enc16, rng, 42)
+    small = lwe_modswitch(lwe, 1 << 32)
+    rns_words = lwe.a.size + lwe.b.size
+    plain_words = small.dimension + 1
+    assert plain_words < rns_words / 1.9
+
+
+def test_plain_lwe_addition(ctx16, sk16, enc16, rng):
+    a = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, 100), 1 << 32)
+    b = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, -30), 1 << 32)
+    got = decrypt_plain_lwe(ctx16, sk16.signed, a + b)
+    assert got == 70
+
+
+def test_plain_lwe_mismatch(ctx16, sk16, enc16, rng):
+    a = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, 1), 1 << 32)
+    b = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, 1), 1 << 30)
+    with pytest.raises(ValueError):
+        _ = a + b
+
+
+def test_keyswitch_to_short_secret(ctx16, sk16, enc16, rng):
+    """4096-style dimension reduction: 128 -> 32 coordinates."""
+    q = 1 << 32
+    dst_key = rng.integers(-1, 2, 32).astype(np.int64)
+    ksk = generate_lwe_keyswitch_key(
+        ctx16, sk16.signed % q, dst_key % q, q, base_bits=4
+    )
+    for value in (-500, 3, 250):
+        lwe = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, value), q)
+        switched = lwe_keyswitch(lwe, ksk)
+        assert switched.dimension == 32
+        got = decrypt_plain_lwe(ctx16, dst_key, switched)
+        assert got == value, value
+
+
+def test_keyswitch_modulus_mismatch(ctx16, sk16, enc16, rng):
+    q = 1 << 32
+    dst_key = rng.integers(-1, 2, 16).astype(np.int64)
+    ksk = generate_lwe_keyswitch_key(ctx16, sk16.signed % q, dst_key % q, q)
+    lwe = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, 1), 1 << 30)
+    with pytest.raises(ValueError):
+        lwe_keyswitch(lwe, ksk)
+
+
+def test_keyswitch_noise_is_bounded(ctx16, sk16, enc16, rng):
+    """Measured phase error stays well below the decryption margin."""
+    q = 1 << 32
+    t = ctx16.t
+    dst_key = rng.integers(-1, 2, 32).astype(np.int64)
+    ksk = generate_lwe_keyswitch_key(
+        ctx16, sk16.signed % q, dst_key % q, q, base_bits=4
+    )
+    value = 123
+    lwe = lwe_modswitch(make_lwe(ctx16, sk16, enc16, rng, value), q)
+    switched = lwe_keyswitch(lwe, ksk)
+    phase = (switched.b + int(np.dot(switched.a, dst_key.astype(object)))) % q
+    if phase > q // 2:
+        phase -= q
+    ideal = round(q * value / t)
+    assert abs(phase - ideal) < q / (4 * t)  # margin is q/(2t)
+
+
+def test_full_shrink_pipeline(ctx16, sk16, enc16, rng):
+    """extract -> modswitch -> dimension switch: the complete LWE export
+    path of the conversion toolkit."""
+    q = 1 << 34
+    dst_key = rng.integers(-1, 2, 64).astype(np.int64)
+    ksk = generate_lwe_keyswitch_key(
+        ctx16, sk16.signed % q, dst_key % q, q, base_bits=4
+    )
+    value = -444
+    rns_lwe = make_lwe(ctx16, sk16, enc16, rng, value)
+    shrunk = lwe_keyswitch(lwe_modswitch(rns_lwe, q), ksk)
+    assert decrypt_plain_lwe(ctx16, dst_key, shrunk) == value
+    # size: (64+1) 34-bit words ~ 277 B vs the RNS LWE's 2*(128+1)*8 B
+    assert (shrunk.dimension + 1) * 34 / 8 < 300

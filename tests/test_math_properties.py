@@ -1,0 +1,154 @@
+"""Property-based algebra suite for the math substrate.
+
+Pins the ring axioms and structural identities every higher layer
+assumes: ``Z_q[X]/(X^N+1)`` is a commutative ring, its Galois group acts
+as claimed, and the RNS representation is a ring isomorphism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.polynomial import RingPoly
+from repro.math.primes import CHAM_P, CHAM_Q0
+from repro.math.rns import RnsBasis
+
+N = 32
+Q = CHAM_Q0
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N
+)
+
+
+def poly(coeffs):
+    return RingPoly(np.array(coeffs, dtype=np.uint64), Q)
+
+
+# -- ring axioms -----------------------------------------------------------------
+
+
+@given(a=coeff_lists, b=coeff_lists)
+@settings(max_examples=30, deadline=None)
+def test_addition_commutes_and_multiplication_commutes(a, b):
+    pa, pb = poly(a), poly(b)
+    assert pa + pb == pb + pa
+    assert pa * pb == pb * pa
+
+
+@given(a=coeff_lists, b=coeff_lists, c=coeff_lists)
+@settings(max_examples=20, deadline=None)
+def test_associativity_and_distributivity(a, b, c):
+    pa, pb, pc = poly(a), poly(b), poly(c)
+    assert (pa + pb) + pc == pa + (pb + pc)
+    assert (pa * pb) * pc == pa * (pb * pc)
+    assert pa * (pb + pc) == pa * pb + pa * pc
+
+
+@given(a=coeff_lists)
+@settings(max_examples=20, deadline=None)
+def test_identities(a):
+    pa = poly(a)
+    one = RingPoly.constant(1, N, Q)
+    zero = RingPoly.zero(N, Q)
+    assert pa * one == pa
+    assert pa + zero == pa
+    assert pa + (-pa) == zero
+    assert pa * zero == zero
+
+
+# -- Galois group ---------------------------------------------------------------
+
+
+@given(a=coeff_lists, i=st.integers(min_value=0, max_value=N // 2 - 1))
+@settings(max_examples=20, deadline=None)
+def test_automorphism_group_is_units_mod_2n(a, i):
+    """Odd k act invertibly; composition follows multiplication mod 2N."""
+    pa = poly(a)
+    k = 2 * i + 1
+    k_inv = pow(k, -1, 2 * N)
+    assert pa.automorph(k).automorph(k_inv) == pa
+
+
+@given(
+    a=coeff_lists,
+    i=st.integers(min_value=0, max_value=15),
+    j=st.integers(min_value=0, max_value=15),
+)
+@settings(max_examples=20, deadline=None)
+def test_automorphism_composition_law(a, i, j):
+    pa = poly(a)
+    k1, k2 = 2 * i + 1, 2 * j + 1
+    assert pa.automorph(k1).automorph(k2) == pa.automorph(k1 * k2 % (2 * N))
+
+
+@given(a=coeff_lists, s=st.integers(min_value=-64, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_shiftneg_is_multiplication_by_monomial(a, s):
+    pa = poly(a)
+    assert pa.shiftneg(s) == pa * RingPoly.monomial(s, N, Q)
+
+
+@given(a=coeff_lists)
+@settings(max_examples=20, deadline=None)
+def test_rev_is_an_involution(a):
+    pa = poly(a)
+    assert pa.rev().rev() == pa
+
+
+# -- RNS isomorphism ---------------------------------------------------------------
+
+
+@given(
+    x=st.integers(min_value=0, max_value=CHAM_Q0 * CHAM_P - 1),
+    y=st.integers(min_value=0, max_value=CHAM_Q0 * CHAM_P - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_rns_is_ring_homomorphism(x, y):
+    basis = RnsBasis((CHAM_Q0, CHAM_P), 4)
+    arr_x = np.array([x, 0, 0, 0], dtype=object)
+    arr_y = np.array([y, 0, 0, 0], dtype=object)
+    rx, ry = basis.decompose(arr_x), basis.decompose(arr_y)
+    # addition
+    from repro.math.modular import modadd_vec, modmul_vec
+
+    added = np.stack(
+        [modadd_vec(rx[i], ry[i], q) for i, q in enumerate(basis)]
+    )
+    assert int(basis.compose(added)[0]) == (x + y) % basis.product
+    # multiplication
+    mult = np.stack(
+        [modmul_vec(rx[i], ry[i], q) for i, q in enumerate(basis)]
+    )
+    assert int(basis.compose(mult)[0]) == (x * y) % basis.product
+
+
+@given(x=st.integers(min_value=0, max_value=CHAM_Q0 - 1))
+@settings(max_examples=30, deadline=None)
+def test_rns_compose_decompose_identity(x):
+    basis = RnsBasis((CHAM_Q0, CHAM_P), 4)
+    arr = np.array([x, x, 0, 1], dtype=object)
+    assert np.array_equal(basis.compose(basis.decompose(arr)), arr)
+
+
+# -- NTT as ring isomorphism -----------------------------------------------------------
+
+
+@given(a=coeff_lists, b=coeff_lists)
+@settings(max_examples=20, deadline=None)
+def test_ntt_domain_is_pointwise_ring(a, b):
+    """NTT(a*b) = NTT(a) ∘ NTT(b) and NTT(a+b) = NTT(a) + NTT(b)."""
+    from repro.math.modular import modadd_vec, modmul_vec
+    from repro.math.ntt import NegacyclicNtt
+
+    ctx = NegacyclicNtt(N, Q)
+    pa = np.array(a, dtype=np.uint64)
+    pb = np.array(b, dtype=np.uint64)
+    ha, hb = ctx.forward(pa), ctx.forward(pb)
+    assert np.array_equal(
+        ctx.forward(ctx.multiply(pa, pb)), modmul_vec(ha, hb, Q)
+    )
+    assert np.array_equal(
+        ctx.forward(modadd_vec(pa, pb, Q)), modadd_vec(ha, hb, Q)
+    )

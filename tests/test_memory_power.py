@@ -1,0 +1,106 @@
+"""Tests for the memory-system and energy models."""
+
+import pytest
+
+from repro.hw.memory import StagingBuffer, job_traffic, sustained_bandwidth
+from repro.hw.power import PowerModel, energy_per_hmvp
+
+
+# -- memory -----------------------------------------------------------------------
+
+
+def test_job_traffic_breakdown():
+    t = job_traffic(rows=4096, col_tiles=1)
+    by = t.by_stream()
+    assert set(by) == {
+        "plaintext rows",
+        "vector ct",
+        "switching keys",
+        "packed result",
+    }
+    # the matrix stream dominates everything else by orders of magnitude
+    assert t.rows_in > 50 * (t.vector_in + t.keys_in + t.result_out)
+    assert t.total == sum(by.values())
+
+
+def test_job_traffic_scales_linearly_in_rows():
+    a = job_traffic(1024)
+    b = job_traffic(2048)
+    assert b.rows_in == 2 * a.rows_in
+    assert b.result_out == a.result_out  # one packed ct either way
+
+
+def test_job_traffic_column_tiles():
+    one = job_traffic(1024, col_tiles=1)
+    two = job_traffic(1024, col_tiles=2)
+    assert two.rows_in == 2 * one.rows_in
+    assert two.vector_in == 2 * one.vector_in
+
+
+def test_staging_buffer_balanced():
+    """DMA keeping exact pace with the engine: no starves, no blocking."""
+    buf = StagingBuffer(
+        capacity_polys=24, fill_rate=3 / 6144, drain_per_row=3, row_interval=6144
+    )
+    out = buf.simulate(rows=512)
+    assert out["starves"] <= 1  # at most the cold start
+    assert out["dma_blocked_cycles"] == 0
+    assert out["peak_polys"] <= 24
+
+
+def test_staging_buffer_slow_dma_starves():
+    buf = StagingBuffer(
+        capacity_polys=24, fill_rate=1 / 6144, drain_per_row=3, row_interval=6144
+    )
+    out = buf.simulate(rows=64)
+    assert out["starves"] > 32  # engine starves on most rows
+
+
+def test_staging_buffer_small_capacity_blocks_dma():
+    buf = StagingBuffer(
+        capacity_polys=3, fill_rate=9 / 6144, drain_per_row=3, row_interval=6144
+    )
+    out = buf.simulate(rows=64)
+    assert out["dma_blocked_cycles"] > 0
+    assert out["peak_polys"] <= 3
+
+
+def test_sustained_bandwidth_below_roof():
+    """The §III-B conclusion from the traffic side: a whole-HMVP engine
+    pulls well under the DDR roof — the design is compute-bound."""
+    bw = sustained_bandwidth()
+    assert bw["total_gbps"] < 0.25 * bw["roof_gbps"]
+    assert bw["per_engine_gbps"] == pytest.approx(
+        3 * 4096 * 8 * (300e6 / 6144) / 1e9, rel=1e-6
+    )
+
+
+# -- power -----------------------------------------------------------------------------
+
+
+def test_power_model_clamps_utilization():
+    p = PowerModel()
+    assert p.fpga_power(-1.0) == p.fpga_static_w
+    assert p.fpga_power(2.0) == p.fpga_static_w + p.fpga_dynamic_w
+    assert p.fpga_static_w < p.fpga_power(0.5) < p.fpga_power(1.0)
+
+
+def test_cham_is_most_energy_efficient():
+    out = energy_per_hmvp(8192, 4096)
+    assert out["cham_j"] < out["gpu_j"] < out["cpu_j"]
+    assert out["cham_vs_cpu"] > 50
+    assert out["cham_vs_gpu"] > 2
+
+
+def test_energy_scales_with_work():
+    small = energy_per_hmvp(2048, 256)
+    large = energy_per_hmvp(16384, 4096)
+    assert large["cham_j"] > small["cham_j"]
+    assert large["cpu_j"] > small["cpu_j"]
+
+
+def test_efficiency_grows_with_utilization():
+    """Bigger jobs amortize the static power: J/row falls with m."""
+    small = energy_per_hmvp(1024, 4096)
+    large = energy_per_hmvp(16384, 4096)
+    assert large["cham_j"] / 16384 < small["cham_j"] / 1024

@@ -1,0 +1,105 @@
+"""Tests for the NN layer library and multi-layer private evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nn import (
+    ConvLayer,
+    FlattenLayer,
+    LinearLayer,
+    PrivateNetwork,
+    ReluLayer,
+    Sequential,
+)
+
+
+@pytest.fixture(scope="module")
+def model(scheme256):
+    rng = np.random.default_rng(51)
+    conv = ConvLayer(kernels=rng.integers(-3, 4, (2, 3, 3)))
+    feat = 2 * 10 * 10  # two 10x10 maps from a 12x12 input
+    fc1 = LinearLayer(weights=rng.integers(-2, 3, (8, feat)))
+    fc2 = LinearLayer(weights=rng.integers(-2, 3, (3, 8)))
+    return Sequential(
+        layers=[conv, ReluLayer(), FlattenLayer(), fc1, ReluLayer(), fc2],
+        input_shape=(12, 12),
+    )
+
+
+@pytest.fixture(scope="module")
+def network(scheme256, model):
+    net = PrivateNetwork(scheme256, model, seed=52)
+    net.offline()
+    return net
+
+
+def test_shapes_propagate(model):
+    shapes = model.shapes()
+    assert shapes[0] == (12, 12)
+    assert shapes[1] == (2, 10, 10)  # conv out -> relu in
+    assert shapes[3] == (200,)  # flatten out -> fc1 in
+    assert shapes[5] == (8,)
+
+
+def test_clear_forward_runs(model, rng):
+    x = rng.integers(0, 16, (12, 12))
+    out = model.predict_clear(x)
+    assert out.shape == (3,)
+
+
+def test_layer_clear_vs_homomorphic(scheme256, rng):
+    conv = ConvLayer(kernels=rng.integers(-3, 4, (2, 3, 3)))
+    x = rng.integers(-10, 10, (10, 10))
+    assert np.array_equal(conv.homomorphic(scheme256, x), conv.clear_forward(x))
+    lin = LinearLayer(weights=rng.integers(-5, 5, (4, 60)))
+    v = rng.integers(-10, 10, 60)
+    assert np.array_equal(lin.homomorphic(scheme256, v), lin.clear_forward(v))
+
+
+def test_private_matches_clear(network, model, rng):
+    for _ in range(3):
+        x = rng.integers(0, 16, (12, 12))
+        got = network.online(x)
+        want = model.predict_clear(x)
+        assert np.array_equal(got, want)
+
+
+def test_online_requires_offline(scheme256, model):
+    net = PrivateNetwork(scheme256, model, seed=1)
+    with pytest.raises(RuntimeError, match="offline"):
+        net.online(np.zeros((12, 12), dtype=np.int64))
+
+
+def test_predict_convenience(scheme256, model, rng):
+    net = PrivateNetwork(scheme256, model, seed=53)
+    x = rng.integers(0, 16, (12, 12))
+    assert np.array_equal(net.predict(x), model.predict_clear(x))
+
+
+def test_correlations_cover_linear_layers(network, model):
+    linear_flags = [layer.is_linear for layer in model.layers]
+    corr_flags = [c is not None for c in network._correlations]
+    assert corr_flags == linear_flags
+
+
+def test_online_traffic_is_cleartext_sized(network, rng):
+    """Online messages are share-sized; offline carries the ciphertexts."""
+    start = len(network.channel.log)
+    network.online(rng.integers(0, 16, (12, 12)))
+    online_msgs = network.channel.log[start:]
+    online_bytes = sum(m.size for m in online_msgs)
+    offline_bytes = sum(
+        m.size for m in network.channel.log if m.label.startswith("offline")
+    )
+    assert online_bytes < offline_bytes / 2
+
+
+def test_relu_and_flatten_shapes():
+    relu = ReluLayer()
+    assert relu.out_shape((5, 6)) == (5, 6)
+    assert np.array_equal(
+        relu.clear_forward(np.array([-1, 2, 0], dtype=object)),
+        np.array([0, 2, 0], dtype=object),
+    )
+    flat = FlattenLayer()
+    assert flat.out_shape((2, 3, 4)) == (24,)

@@ -1,0 +1,125 @@
+"""Tests for PACKTWOLWES / PACKLWES (Algorithms 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.he.encoder import CoefficientEncoder
+from repro.he.lwe import extract_lwe
+from repro.he.noise import invariant_noise_budget, packed_slot_positions
+from repro.he.packing import pack_lwes, pack_reduction_count, pack_two_lwes
+from repro.he.rlwe import encrypt
+
+
+@pytest.fixture(scope="module")
+def enc(params128):
+    return CoefficientEncoder(params128)
+
+
+def make_lwes(ctx, sk, enc, values, rng):
+    """One LWE per value, each extracted from a fresh RLWE ciphertext."""
+    out = []
+    for v in values:
+        coeffs = rng.integers(-1000, 1000, 128)
+        coeffs[0] = v
+        ct = encrypt(ctx, sk, enc.encode_coeffs(coeffs), augmented=False)
+        out.append(extract_lwe(ct, 0))
+    return out
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 16, 128])
+def test_pack_roundtrip(ctx128, sk128, galois128, enc, rng, count):
+    values = [int(v) for v in rng.integers(-1000, 1000, count)]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    packed = pack_lwes(lwes, galois128)
+    from repro.he.rlwe import decrypt
+
+    pt = decrypt(ctx128, sk128, packed.ct)
+    got = enc.decode_packed(pt, count, packed.scale_pow2)
+    assert [int(x) for x in got] == values
+
+
+@pytest.mark.parametrize("count,expected", [(1, 0), (2, 1), (3, 3), (4, 3), (5, 7), (4096, 4095)])
+def test_reduction_count(count, expected):
+    """The paper: 'Totally 4095 reductions are required to pack 4096'."""
+    assert pack_reduction_count(count) == expected
+
+
+def test_pack_reports_actual_reductions(ctx128, sk128, galois128, enc, rng):
+    lwes = make_lwes(ctx128, sk128, enc, [1, 2, 3, 4, 5], rng)
+    packed = pack_lwes(lwes, galois128)
+    assert packed.reductions == pack_reduction_count(5) == 7
+    assert packed.count == 5
+    assert packed.scale_pow2 == 3
+
+
+def test_pack_slot_stride(ctx128, sk128, galois128, enc, rng):
+    lwes = make_lwes(ctx128, sk128, enc, [1, 2, 3, 4], rng)
+    packed = pack_lwes(lwes, galois128)
+    assert packed.slot_stride == 128 // 4
+    assert packed_slot_positions(128, 4) == [0, 32, 64, 96]
+
+
+def test_pack_empty_raises(galois128):
+    with pytest.raises(ValueError):
+        pack_lwes([], galois128)
+
+
+def test_pack_too_many_raises(ctx128, sk128, galois128, enc, rng):
+    lwes = make_lwes(ctx128, sk128, enc, [0], rng) * 129
+    with pytest.raises(ValueError, match="ring degree"):
+        pack_lwes(lwes, galois128)
+
+
+def test_pack_two_level_bound(ctx128, sk128, galois128, enc, rng):
+    lwes = make_lwes(ctx128, sk128, enc, [1, 2], rng)
+    from repro.he.lwe import lwe_to_rlwe
+
+    a, b = lwe_to_rlwe(lwes[0]), lwe_to_rlwe(lwes[1])
+    with pytest.raises(ValueError, match="level"):
+        pack_two_lwes(8, a, b, galois128)  # 2^8 > n=128
+
+
+def test_pack_scale_is_power_of_two_per_level(ctx128, sk128, galois128, enc, rng):
+    """Each merge doubles the message: packing 2^k scales by exactly 2^k."""
+    values = [17]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    single = pack_lwes(lwes, galois128)
+    assert single.scale_pow2 == 0
+
+    values = [17, -5]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    packed = pack_lwes(lwes, galois128)
+    from repro.he.rlwe import decrypt
+
+    pt = decrypt(ctx128, sk128, packed.ct)
+    raw = pt.centered()
+    assert raw[0] == 2 * 17  # undecoded slot carries the doubled value
+    assert raw[64] == 2 * -5
+
+
+def test_pack_budget_stays_positive(ctx128, sk128, galois128, enc, rng):
+    """After a full 128-way pack the slot budget must still be healthy."""
+    values = [int(v) for v in rng.integers(-1000, 1000, 128)]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    packed = pack_lwes(lwes, galois128)
+    pos = packed_slot_positions(128, 128)
+    budget = invariant_noise_budget(ctx128, sk128, packed.ct, pos)
+    assert budget > 5
+
+
+def test_pack_zero_padding_is_exact(ctx128, sk128, galois128, enc, rng):
+    """Non-power-of-two counts pad with transparent zeros; the padded
+    slots decode to exactly zero."""
+    values = [3, 1, 4]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    packed = pack_lwes(lwes, galois128)
+    from repro.he.rlwe import decrypt
+
+    pt = decrypt(ctx128, sk128, packed.ct)
+    got4 = enc.decode_packed(pt, 4, packed.scale_pow2)
+    assert [int(x) for x in got4] == [3, 1, 4, 0]
+
+
+def test_pack_reduction_count_validation():
+    with pytest.raises(ValueError):
+        pack_reduction_count(0)

@@ -1,0 +1,218 @@
+"""Tests for RingPoly and the Table I PPU operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.polynomial import (
+    RingPoly,
+    automorph,
+    automorph_permutation,
+    monomial_multiply,
+    rev,
+    shiftneg,
+)
+from repro.math.primes import CHAM_Q0, CHAM_Q1
+
+Q = CHAM_Q0
+N = 32
+
+
+def rand_poly(rng, n=N, q=Q):
+    return RingPoly.random(n, q, rng)
+
+
+# -- constructors ------------------------------------------------------------------
+
+
+def test_zero_and_constant():
+    z = RingPoly.zero(N, Q)
+    c = RingPoly.constant(5, N, Q)
+    assert (z.coeffs == 0).all()
+    assert c.coeffs[0] == 5 and (c.coeffs[1:] == 0).all()
+
+
+def test_constructor_reduces_signed():
+    p = RingPoly(np.array([-1] + [0] * (N - 1)), Q)
+    assert p.coeffs[0] == Q - 1
+
+
+def test_constructor_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        RingPoly(np.zeros((2, 4)), Q)
+    with pytest.raises(ValueError):
+        RingPoly(np.zeros(24), Q)  # not a power of two
+
+
+def test_monomial():
+    m = RingPoly.monomial(3, N, Q)
+    assert m.coeffs[3] == 1 and m.coeffs.sum() == 1
+    # X^N == -1
+    m2 = RingPoly.monomial(N, N, Q)
+    assert m2.coeffs[0] == Q - 1
+    # X^{-1} == -X^{N-1}
+    m3 = RingPoly.monomial(-1, N, Q)
+    assert m3.coeffs[N - 1] == Q - 1
+
+
+# -- ring arithmetic ------------------------------------------------------------------
+
+
+def test_add_sub_neg(rng):
+    a, b = rand_poly(rng), rand_poly(rng)
+    assert (a + b) - b == a
+    assert -(-a) == a
+    assert a - a == RingPoly.zero(N, Q)
+
+
+def test_mul_matches_schoolbook(rng):
+    from repro.math.ntt import negacyclic_convolution_schoolbook
+
+    a, b = rand_poly(rng), rand_poly(rng)
+    prod = a * b
+    want = negacyclic_convolution_schoolbook(a.coeffs, b.coeffs, Q)
+    assert np.array_equal(prod.coeffs, want)
+
+
+def test_mul_distributes(rng):
+    a, b, c = rand_poly(rng), rand_poly(rng), rand_poly(rng)
+    assert a * (b + c) == a * b + a * c
+
+
+def test_scalar_mul_and_inverse_scalar(rng):
+    a = rand_poly(rng)
+    assert a.scalar_mul(3).inverse_scalar(3) == a
+    assert (3 * a) == a.scalar_mul(3)
+
+
+def test_hadamard(rng):
+    a, b = rand_poly(rng), rand_poly(rng)
+    got = a.hadamard(b)
+    want = (a.coeffs.astype(object) * b.coeffs.astype(object)) % Q
+    assert np.array_equal(got.coeffs.astype(object), want)
+
+
+def test_ring_mismatch_raises(rng):
+    a = rand_poly(rng)
+    b = RingPoly.random(N, CHAM_Q1, rng)
+    with pytest.raises(ValueError):
+        _ = a + b
+
+
+# -- Table I operations -----------------------------------------------------------------
+
+
+def test_rev():
+    a = np.arange(N, dtype=np.uint64)
+    assert np.array_equal(rev(a, Q), a[::-1])
+
+
+def test_shiftneg_matches_monomial_multiplication(rng):
+    a = rand_poly(rng)
+    for s in (0, 1, 5, N - 1, N, N + 3, 2 * N, -1, -7):
+        via_shift = a.shiftneg(s)
+        via_mul = a * RingPoly.monomial(s, N, Q)
+        assert via_shift == via_mul, f"s={s}"
+
+
+def test_shiftneg_wraparound_negates():
+    a = RingPoly.monomial(N - 1, N, Q)
+    shifted = a.shiftneg(1)  # X^{N-1} * X = -1
+    assert shifted.coeffs[0] == Q - 1
+
+
+def test_multmono_alias(rng):
+    a = rand_poly(rng)
+    assert np.array_equal(
+        monomial_multiply(a.coeffs, 9, Q), a.multmono(9).coeffs
+    )
+
+
+def test_automorph_is_ring_homomorphism(rng):
+    a, b = rand_poly(rng), rand_poly(rng)
+    for k in (3, 5, N + 1, 2 * N - 1):
+        lhs = (a * b).automorph(k)
+        rhs = a.automorph(k) * b.automorph(k)
+        assert lhs == rhs, f"k={k}"
+        assert (a + b).automorph(k) == a.automorph(k) + b.automorph(k)
+
+
+def test_automorph_identity(rng):
+    a = rand_poly(rng)
+    assert a.automorph(1) == a
+
+
+def test_automorph_composition(rng):
+    a = rand_poly(rng)
+    assert a.automorph(3).automorph(3) == a.automorph(9 % (2 * N))
+
+
+def test_automorph_inverse(rng):
+    a = rand_poly(rng)
+    k = 3
+    k_inv = pow(k, -1, 2 * N)
+    assert a.automorph(k).automorph(k_inv) == a
+
+
+def test_automorph_requires_odd_index(rng):
+    a = rand_poly(rng)
+    with pytest.raises(ValueError):
+        a.automorph(4)
+
+
+def test_automorph_permutation_structure():
+    src, flip = automorph_permutation(N, 3)
+    assert sorted(src) == list(range(N))
+    # the map X -> X^3 fixes the constant coefficient with positive sign
+    assert src[0] == 0 and not flip[0]
+
+
+def test_automorph_on_monomial_matches_evaluation():
+    """automorph(X^i, k) == ±X^{ik mod N} with sign (-1)^{floor(ik/N)}."""
+    for i in (1, 7, N - 1):
+        for k in (3, N + 1):
+            m = RingPoly.monomial(i, N, Q)
+            got = m.automorph(k)
+            want = RingPoly.monomial(i * k, N, Q)
+            assert got == want, (i, k)
+
+
+def test_automorph_raw_vs_free_function(rng):
+    a = rand_poly(rng)
+    assert np.array_equal(a.automorph(5).coeffs, automorph(a.coeffs, 5, Q))
+
+
+def test_shiftneg_free_function_negative_and_large(rng):
+    a = rng.integers(0, Q, N, dtype=np.uint64)
+    assert np.array_equal(shiftneg(a, 2 * N, Q), a)
+    assert np.array_equal(
+        shiftneg(shiftneg(a, 3, Q), -3, Q), a
+    )
+
+
+def test_evaluate():
+    p = RingPoly(np.array([1, 2, 3] + [0] * (N - 3)), Q)
+    assert p.evaluate(10) == 321
+
+
+def test_repr():
+    p = RingPoly.zero(N, Q)
+    assert "RingPoly" in repr(p)
+
+
+# -- hypothesis -----------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=16, max_size=16),
+    st.integers(min_value=-64, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_shiftneg_period_property(coeffs, s):
+    a = np.array(coeffs, dtype=np.uint64)
+    # SHIFTNEG has period 2N and SHIFTNEG by N is global negation
+    out1 = shiftneg(a, s, Q)
+    out2 = shiftneg(a, s + 32, Q)
+    assert np.array_equal(out1, shiftneg(shiftneg(a, s + 16, Q), -16 % 32, Q))
+    assert np.array_equal(out1, out2)

@@ -1,0 +1,113 @@
+"""Tests for repro.math.primes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math.primes import (
+    CHAM_P,
+    CHAM_Q0,
+    CHAM_Q1,
+    find_low_hamming_ntt_prime,
+    find_ntt_prime,
+    is_ntt_friendly,
+    is_prime,
+    negacyclic_psi,
+    primitive_root,
+    root_of_unity,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 12289, 65537, CHAM_Q0, CHAM_Q1, CHAM_P]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 561, 1105, 65535, 2**34 + 2**27]  # incl. Carmichael
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_is_prime_on_primes(p):
+    assert is_prime(p)
+
+
+@pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+def test_is_prime_on_composites(c):
+    assert not is_prime(c)
+
+
+def test_cham_moduli_are_paper_values():
+    assert CHAM_Q0 == 2**34 + 2**27 + 1
+    assert CHAM_Q1 == 2**34 + 2**19 + 1
+    assert CHAM_P == 2**38 + 2**23 + 1
+
+
+def test_cham_moduli_bit_widths():
+    """Section II-F: two 35-bit moduli plus a 39-bit special modulus."""
+    assert CHAM_Q0.bit_length() == 35
+    assert CHAM_Q1.bit_length() == 35
+    assert CHAM_P.bit_length() == 39
+    # the paper's "70 bit" / "109 bit" figures are nominal limb sums
+    assert CHAM_Q0.bit_length() + CHAM_Q1.bit_length() == 70
+    assert CHAM_Q0.bit_length() + CHAM_Q1.bit_length() + CHAM_P.bit_length() == 109
+
+
+@pytest.mark.parametrize("q", [CHAM_Q0, CHAM_Q1, CHAM_P])
+@pytest.mark.parametrize("n", [64, 512, 4096])
+def test_cham_moduli_ntt_friendly_for_all_toy_degrees(q, n):
+    assert is_ntt_friendly(q, n)
+
+
+def test_find_ntt_prime():
+    q = find_ntt_prime(20, 128)
+    assert q.bit_length() == 20
+    assert is_ntt_friendly(q, 128)
+    q2 = find_ntt_prime(20, 128, skip=1)
+    assert q2 > q and is_ntt_friendly(q2, 128)
+
+
+def test_find_low_hamming_ntt_prime_recovers_cham():
+    assert find_low_hamming_ntt_prime(35, 4096) in (CHAM_Q0, CHAM_Q1)
+    assert find_low_hamming_ntt_prime(39, 4096) == CHAM_P
+
+
+def test_primitive_root_orders():
+    for q in (17, 12289, CHAM_Q0):
+        g = primitive_root(q)
+        assert pow(g, q - 1, q) == 1
+        # g must not have any smaller order dividing q-1
+        assert pow(g, (q - 1) // 2, q) != 1
+
+
+def test_root_of_unity_exact_order():
+    w = root_of_unity(512, CHAM_Q0)
+    assert pow(w, 512, CHAM_Q0) == 1
+    assert pow(w, 256, CHAM_Q0) != 1
+
+
+def test_root_of_unity_rejects_bad_order():
+    with pytest.raises(ValueError):
+        root_of_unity(3, 257)  # 3 does not divide 256
+
+
+def test_negacyclic_psi():
+    for n in (64, 4096):
+        psi = negacyclic_psi(n, CHAM_P)
+        assert pow(psi, n, CHAM_P) == CHAM_P - 1
+        assert pow(psi, 2 * n, CHAM_P) == 1
+
+
+def test_primitive_root_requires_prime():
+    with pytest.raises(ValueError):
+        primitive_root(100)
+
+
+@given(st.integers(min_value=3, max_value=10**6))
+@settings(max_examples=150, deadline=None)
+def test_is_prime_agrees_with_trial_division(n):
+    def trial(n):
+        if n < 2:
+            return False
+        d = 2
+        while d * d <= n:
+            if n % d == 0:
+                return False
+            d += 1
+        return True
+
+    assert is_prime(n) == trial(n)

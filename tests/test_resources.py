@@ -1,0 +1,105 @@
+"""Tests for the FPGA resource model against Tables II and III."""
+
+import pytest
+
+from repro.hw.arch import ChamConfig, EngineConfig, NttUnitConfig, VU9P, cham_default_config
+from repro.hw.resources import (
+    ResourceVector,
+    TABLE2_REFERENCE,
+    TABLE3_NTT_VARIANTS,
+    engine_resources,
+    ntt_unit_resources,
+    platform_resources,
+    total_resources,
+    utilization,
+)
+
+#: Table II bottom row
+PAPER_UTIL = {"LUT": 63.68, "FF": 20.41, "BRAM": 72.13, "URAM": 61.98, "DSP": 29.04}
+
+
+def test_ntt_unit_matches_table3_variants():
+    for memory, (lut, bram) in TABLE3_NTT_VARIANTS.items():
+        vec = ntt_unit_resources(NttUnitConfig(memory=memory))
+        assert vec.lut == lut
+        assert vec.bram == bram
+
+
+def test_ntt_unit_rejects_unknown_memory():
+    with pytest.raises(ValueError):
+        ntt_unit_resources(NttUnitConfig(memory="hbm"))
+
+
+def test_dram_variant_trades_bram_for_lut():
+    """Table III: dRAM variants remove BRAM at a LUT cost (ATP 1x->2.78x)."""
+    bram_only = ntt_unit_resources(NttUnitConfig(memory="bram"))
+    hybrid = ntt_unit_resources(NttUnitConfig(memory="bram+dram"))
+    dram_only = ntt_unit_resources(NttUnitConfig(memory="dram"))
+    assert bram_only.lut < hybrid.lut < dram_only.lut
+    assert bram_only.bram > hybrid.bram > dram_only.bram == 0
+
+
+def test_engine_matches_table2_within_tolerance():
+    got = engine_resources(EngineConfig())
+    ref = TABLE2_REFERENCE["Compute Engine 0"]
+    for name in ("lut", "ff", "bram", "uram", "dsp"):
+        g, r = getattr(got, name), getattr(ref, name)
+        assert abs(g - r) / max(r, 1) < 0.02, (name, g, r)
+
+
+def test_total_utilization_matches_table2():
+    util = utilization(total_resources(cham_default_config()))
+    for key, want in PAPER_UTIL.items():
+        assert util[key] == pytest.approx(want, abs=1.0), key
+
+
+def test_platform_is_table2_row():
+    assert platform_resources() == TABLE2_REFERENCE["Platform"]
+
+
+def test_resource_vector_arithmetic():
+    a = ResourceVector(1, 2, 3, 4, 5)
+    b = ResourceVector(10, 20, 30, 40, 50)
+    assert (a + b).lut == 11
+    assert a.scale(3).dsp == 15
+    assert a.as_dict()["BRAM"] == 3
+
+
+def test_fits_honors_cap():
+    small = ResourceVector(lut=100, ff=100, bram=1, uram=1, dsp=1)
+    assert small.fits(VU9P)
+    huge = ResourceVector(lut=2 * VU9P.luts)
+    assert not huge.fits(VU9P)
+    edge = ResourceVector(lut=int(VU9P.luts * 0.8))
+    assert edge.fits(VU9P)
+    assert not edge.fits(VU9P, max_util=0.75)
+
+
+def test_barrett_ablation_costs_dsps():
+    """Section IV-A3 ablation: generic Barrett reduction doubles the DSP
+    bill of every butterfly and burns extra LUT carry logic."""
+    lh = ntt_unit_resources(NttUnitConfig())
+    barrett = ntt_unit_resources(NttUnitConfig(), barrett=True)
+    assert barrett.dsp == 2 * lh.dsp
+    assert barrett.lut > lh.lut
+
+
+def test_barrett_whole_design_still_fits_but_hotter():
+    cfg = cham_default_config()
+    lh = total_resources(cfg)
+    barrett = total_resources(cfg, barrett=True)
+    assert barrett.dsp > lh.dsp
+    assert utilization(barrett)["DSP"] > utilization(lh)["DSP"]
+
+
+def test_dsp_scale_with_bfus():
+    small = ntt_unit_resources(NttUnitConfig(n_bfu=2))
+    big = ntt_unit_resources(NttUnitConfig(n_bfu=8))
+    assert big.dsp == 4 * small.dsp
+
+
+def test_more_engines_more_resources():
+    one = total_resources(ChamConfig(engines=1))
+    two = total_resources(ChamConfig(engines=2))
+    assert two.lut > one.lut
+    assert two.dsp - one.dsp == engine_resources(EngineConfig()).dsp

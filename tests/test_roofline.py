@@ -1,0 +1,70 @@
+"""Tests for the roofline model (Fig. 2a)."""
+
+import pytest
+
+from repro.hw.arch import U200
+from repro.hw.roofline import (
+    hmvp_kernel,
+    keyswitch_kernel,
+    ntt_kernel,
+    roofline_points,
+)
+
+
+def test_intensity_ordering_matches_figure():
+    """NTT < key-switch << HMVP — the Section III-B argument."""
+    pts = roofline_points()
+    assert pts["NTT"].intensity < pts["KeySwitch"].intensity
+    assert pts["KeySwitch"].intensity * 5 < pts["HMVP"].intensity
+
+
+def test_small_operators_are_memory_bound():
+    pts = roofline_points()
+    assert pts["NTT"].memory_bound
+    assert pts["KeySwitch"].memory_bound
+    assert pts["NTT"].peak_fraction < 0.1
+    assert pts["KeySwitch"].peak_fraction < 0.1
+
+
+def test_hmvp_near_compute_roof():
+    hm = hmvp_kernel()
+    assert hm.peak_fraction > 0.8
+
+
+def test_ridge_point():
+    assert U200.ridge_intensity == pytest.approx(
+        U200.peak_ops_per_sec / (U200.ddr_gbps * 1e9)
+    )
+
+
+def test_attainable_never_exceeds_peak():
+    for point in roofline_points().values():
+        assert point.attainable_ops_per_sec <= U200.peak_ops_per_sec
+
+
+def test_ntt_kernel_accounting():
+    k = ntt_kernel(n=4096)
+    assert k.ops == 2048 * 12 * 4
+    assert k.bytes_moved == 2 * 4096 * 8
+    assert k.intensity == pytest.approx(1.5)
+
+
+def test_keyswitch_kernel_includes_key_traffic():
+    with_keys = keyswitch_kernel()
+    # the switching key is the dominant traffic term
+    ct_only = 4 * 2 * 4096 * 8
+    assert with_keys.bytes_moved > ct_only
+
+
+def test_hmvp_amortizes_with_rows():
+    small = hmvp_kernel(m=64)
+    large = hmvp_kernel(m=8192)
+    assert large.intensity > small.intensity * 0.9
+    # ops scale linearly with rows
+    assert large.ops == pytest.approx(small.ops * 8192 / 64, rel=0.01)
+
+
+def test_column_tiles_increase_traffic():
+    narrow = hmvp_kernel(m=1024, n_cols=4096)
+    wide = hmvp_kernel(m=1024, n_cols=8192)
+    assert wide.bytes_moved > 1.9 * narrow.bytes_moved

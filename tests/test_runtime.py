@@ -1,0 +1,139 @@
+"""Tests for the RAS runtime simulation (Section III-C)."""
+
+import pytest
+
+from repro.hw.runtime import (
+    DeviceHangError,
+    FaultInjector,
+    FpgaRuntime,
+    JobState,
+    RegisterLoadError,
+    VirtualFpga,
+)
+from repro.hw.arch import cham_default_config
+
+
+def test_clean_job_lifecycle():
+    rt = FpgaRuntime()
+    jid = rt.submit(rows=64)
+    assert rt.poll(jid) == JobState.DONE
+    assert rt.jobs[jid].cycles > 0
+    report = rt.health()
+    assert report.jobs_completed == 1
+    assert report.healthy
+
+
+def test_poll_is_idempotent():
+    rt = FpgaRuntime()
+    jid = rt.submit(rows=16)
+    assert rt.poll(jid) == JobState.DONE
+    assert rt.poll(jid) == JobState.DONE
+    assert rt.health().jobs_completed == 1
+
+
+def test_register_load_clean():
+    rt = FpgaRuntime()
+    rt.load_register_checked(0x100, 0xDEADBEEF)
+    assert rt.device.registers[0x100] == 0xDEADBEEF
+    assert rt.register_retries == 0
+
+
+def test_register_load_retries_on_corruption():
+    faults = FaultInjector(register_flip_prob=0.6, seed=3)
+    rt = FpgaRuntime(faults=faults, max_register_retries=10)
+    rt.load_register_checked(0x10, 1234)
+    assert rt.device.registers[0x10] == 1234
+    assert rt.register_retries > 0
+
+
+def test_register_load_gives_up():
+    faults = FaultInjector(register_flip_prob=1.0, seed=1)
+    rt = FpgaRuntime(faults=faults, max_register_retries=2)
+    with pytest.raises(RegisterLoadError):
+        rt.load_register_checked(0x10, 55)
+    assert rt.register_retries == 3
+
+
+def test_hang_is_recovered_by_watchdog():
+    faults = FaultInjector(hang_prob=0.5, resets_to_recover=1, seed=2)
+    rt = FpgaRuntime(faults=faults, max_job_retries=12)
+    states = [rt.poll(rt.submit(rows=32)) for _ in range(8)]
+    assert all(s == JobState.DONE for s in states)
+    assert rt.hangs_detected > 0
+    assert rt.resets >= rt.hangs_detected
+
+
+def test_permanent_hang_fails_job():
+    faults = FaultInjector(hang_prob=1.0, resets_to_recover=10**9, seed=4)
+    rt = FpgaRuntime(faults=faults, max_job_retries=1)
+    jid = rt.submit(rows=8)
+    assert rt.poll(jid) == JobState.FAILED
+    report = rt.health()
+    assert report.jobs_failed == 1
+    assert not report.healthy
+
+
+def test_virtual_fpga_reset_semantics():
+    faults = FaultInjector(hang_prob=1.0, resets_to_recover=2, seed=0)
+    dev = VirtualFpga(cham_default_config(), faults)
+    from repro.hw.runtime import Job
+
+    with pytest.raises(DeviceHangError):
+        dev.run_job(Job(job_id=0, rows=4))
+    assert dev.hung
+    assert not dev.reset()  # first reset not enough
+    assert dev.reset()  # second recovers
+    assert not dev.hung
+
+
+def test_health_temperature_tracks_load():
+    rt = FpgaRuntime()
+    t0 = rt.health().temperature_c
+    for _ in range(3):
+        rt.poll(rt.submit(rows=2048))
+    t1 = rt.health().temperature_c
+    assert t1 > t0
+
+
+def test_job_cycles_match_pipeline():
+    from repro.hw.pipeline import MacroPipeline
+
+    rt = FpgaRuntime()
+    jid = rt.submit(rows=128, col_tiles=2)
+    rt.poll(jid)
+    expect = MacroPipeline(rt.cfg.engine).simulate_hmvp(128, 2).total_cycles
+    assert rt.jobs[jid].cycles == expect
+
+
+def test_job_scheduler_balances_engines():
+    from repro.hw.runtime import Job, JobScheduler
+
+    sched = JobScheduler()
+    jobs = [Job(job_id=i, rows=256) for i in range(8)]
+    report = sched.schedule(jobs)
+    assert len(report.completions) == 8
+    # equal jobs split 4/4 across the two engines
+    assert abs(report.per_engine_busy[0] - report.per_engine_busy[1]) < 1
+    assert report.utilization > 0.99
+    assert all(j.state.value == "done" for j in jobs)
+
+
+def test_job_scheduler_longest_first_beats_naive_makespan():
+    from repro.hw.runtime import Job, JobScheduler
+
+    sched = JobScheduler()
+    jobs = [Job(job_id=0, rows=2048)] + [
+        Job(job_id=i, rows=64) for i in range(1, 9)
+    ]
+    report = sched.schedule(jobs)
+    # the long job defines the makespan; the short ones hide behind it
+    long_cycles = jobs[0].cycles
+    assert report.makespan < long_cycles * 1.2
+
+
+def test_job_scheduler_empty_queue():
+    from repro.hw.runtime import JobScheduler
+
+    report = JobScheduler().schedule([])
+    assert report.makespan == 0
+    assert report.utilization == 0.0

@@ -1,0 +1,61 @@
+"""Tests for pipeline trace capture and rendering."""
+
+import pytest
+
+from repro.hw.arch import EngineConfig
+from repro.hw.trace import capture_trace, render_gantt
+
+
+@pytest.fixture(scope="module")
+def trace64():
+    return capture_trace(EngineConfig(), rows=64)
+
+
+def test_event_counts(trace64):
+    assert len(trace64.dot_events) == 64
+    assert len(trace64.pack_events) == 63
+
+
+def test_events_are_ordered(trace64):
+    cycles = [e.cycle for e in trace64.events]
+    assert cycles == sorted(cycles)
+
+
+def test_trace_levels_cover_tree(trace64):
+    assert trace64.max_pack_level() == 6  # log2(64)
+    per_level = {}
+    for e in trace64.pack_events:
+        per_level[e.detail] = per_level.get(e.detail, 0) + 1
+    assert per_level == {1: 32, 2: 16, 3: 8, 4: 4, 5: 2, 6: 1}
+
+
+def test_overlap_exists(trace64):
+    """Pack reductions start while dot products still stream — the
+    macro-pipeline overlap of Fig. 1b."""
+    overlap = trace64.first_overlap_cycle()
+    assert overlap is not None
+    assert overlap < trace64.dot_events[-1].cycle
+
+
+def test_trace_agrees_with_stats(trace64):
+    assert trace64.stats.reductions == len(trace64.pack_events)
+    assert trace64.events[-1].cycle <= trace64.stats.total_cycles
+
+
+def test_render_gantt(trace64):
+    art = render_gantt(trace64, width=60)
+    lines = art.splitlines()
+    assert lines[0].startswith("cycles 0 ..")
+    assert any(line.startswith("dot ") for line in lines)
+    assert any(line.startswith("pack L1") for line in lines)
+    assert any(line.startswith("pack L6") for line in lines)
+    # the dot lane is busy from early on
+    dot_line = next(line for line in lines if line.startswith("dot"))
+    assert "#" in dot_line
+
+
+def test_trace_with_column_tiles():
+    trace = capture_trace(EngineConfig(), rows=8, col_tiles=2)
+    # only fully-aggregated rows reach the pack side
+    assert len(trace.dot_events) == 8
+    assert trace.stats.dot_products == 16
