@@ -7,7 +7,7 @@ incumbent, and >90% of the baseline's compute offloaded.
 """
 
 import pytest
-from conftest import print_table
+from conftest import print_table, record_result
 
 from repro.hw.perf import (
     ChamPerfModel,
@@ -48,6 +48,13 @@ def test_figure_8_panel(models, n):
         f"Fig. 8 (n={n}): HMVP latency (ms)",
         ["m", "CPU", "GPU", "CHAM", "cham/gpu", "cpu/cham"],
         rows,
+    )
+    record_result(
+        "hmvp_latency",
+        {
+            str(m): hmvp_latency_all(m, n, cham, cpu, gpu) for m in M_SWEEP
+        },
+        params={"n": n, "m_sweep": M_SWEEP},
     )
 
 

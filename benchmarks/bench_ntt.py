@@ -10,7 +10,7 @@ Reproduces:
 
 import numpy as np
 import pytest
-from conftest import print_table
+from conftest import print_table, record_result
 
 from repro.hw.arch import NttUnitConfig, cham_default_config
 from repro.hw.ntt_datapath import NttDatapathSim
@@ -91,6 +91,15 @@ def test_ntt_throughput_anchors():
         ("CPU Xeon (model)", f"{CpuCostModel().ntt_throughput():,.0f}"),
     ]
     print_table("NTT throughput (ops/s, N=4096)", ["platform", "ops/s"], rows)
+    record_result(
+        "ntt",
+        {
+            "cham_ops_per_s": thr,
+            "heax_ops_per_s": 117_000,
+            "gpu_ops_per_s": gpu.ntt_throughput,
+        },
+        params={"n": 4096, "ntt_units": cham_default_config().total_ntt_units},
+    )
     assert thr == pytest.approx(195_000, rel=0.02)
     assert thr > 117_000 > gpu.ntt_throughput
     assert cham_default_config().total_ntt_units == 60

@@ -8,7 +8,7 @@ amortization that makes Fig. 6 near-linear.
 
 import numpy as np
 import pytest
-from conftest import print_table
+from conftest import print_table, record_result
 
 from repro.hw.arch import EngineConfig, NttUnitConfig, cham_default_config
 from repro.hw.ntt_datapath import NttDatapathSim
@@ -24,8 +24,15 @@ def pipe():
 def test_pipeline_trace_table(pipe):
     cfg = cham_default_config()
     rows = []
+    recorded = {}
     for m in (16, 256, 1024, 4096):
         s = pipe.simulate_hmvp(m)
+        recorded[str(m)] = {
+            "total_cycles": s.total_cycles,
+            "reductions": s.reductions,
+            "preemptions": s.preemptions,
+            "dot_utilization": s.dot_utilization,
+        }
         rows.append(
             (
                 m,
@@ -41,6 +48,11 @@ def test_pipeline_trace_table(pipe):
         "Macro-pipeline traces (1 engine)",
         ["rows", "cycles", "reductions", "preempts", "buf peak", "dot util", "rows/s"],
         rows,
+    )
+    record_result(
+        "pipeline",
+        recorded,
+        params={"engines": 1, "rows_sweep": [16, 256, 1024, 4096]},
     )
 
 

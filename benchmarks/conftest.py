@@ -12,11 +12,45 @@ Every ``bench_*.py`` module reproduces one table or figure of the paper
   Python kernels themselves (run with ``--benchmark-only``).
 """
 
+import json
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.he.bfv import BfvScheme
 from repro.he.params import toy_params
+
+#: where record_result() writes; override with BENCH_RESULTS_DIR
+RESULTS_DIR = os.environ.get(
+    "BENCH_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
+
+
+def record_result(name, metrics, params=None):
+    """Append one benchmark record to ``BENCH_<name>.json``.
+
+    Each file is a JSON array of ``{"params", "metrics", "timestamp"}``
+    records, one appended per run, so successive runs can be diffed or
+    plotted without re-running the sweep.  Returns the file path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    records = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            records = json.load(fh)
+    records.append(
+        {
+            "params": params or {},
+            "metrics": metrics,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+    )
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2)
+    return path
 
 
 def print_table(title, headers, rows):

@@ -13,7 +13,9 @@ The package is layered:
   datapath, macro-pipeline, resources, roofline, DSE, heterogeneous
   system, RAS runtime) plus calibrated CPU/GPU performance models;
 * :mod:`repro.apps` — HeteroLR, Beaver triple generation, private
-  inference.
+  inference;
+* :mod:`repro.obs` — unified observability: metrics registry (counters,
+  gauges, histograms) and span tracer with JSONL / Chrome-trace export.
 
 Quickstart::
 
@@ -27,6 +29,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import apps, core, he, hw, math
+from . import apps, core, he, hw, math, obs
 
-__all__ = ["apps", "core", "he", "hw", "math", "__version__"]
+__all__ = ["apps", "core", "he", "hw", "math", "obs", "__version__"]

@@ -29,6 +29,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.hmvp import HmvpOpCount, TiledHmvp
 from ..he.bfv import BfvScheme
 
@@ -106,26 +107,28 @@ class BeaverGenerator:
         m, n = matrix.shape
         t = self.scheme.params.plain_modulus
 
-        # client side: sample + encrypt a1
-        a1 = self._rand_small(n)
-        a2 = self._rand_small(n)
-        ct_tiles = self.tiler.encrypt_vector(a1)
-        self.stats.encryptions += len(ct_tiles)
+        with obs.span("beaver.triple", rows=m, cols=n):
+            # client side: sample + encrypt a1
+            a1 = self._rand_small(n)
+            a2 = self._rand_small(n)
+            ct_tiles = self.tiler.encrypt_vector(a1)
+            self.stats.encryptions += len(ct_tiles)
 
-        # server side: homomorphic W * a1, then mask
-        result = self.tiler.multiply(matrix, ct_tiles)
-        self.stats.ops = self.stats.ops + result.ops
-        s = self._rand_vec(m)
+            # server side: homomorphic W * a1, then mask
+            result = self.tiler.multiply(matrix, ct_tiles)
+            self.stats.ops = self.stats.ops + result.ops
+            s = self._rand_vec(m)
 
-        # client side: decrypt and subtract the mask share
-        w_a1 = result.decrypt(self.scheme)
-        self.stats.decrypted_packs += len(result.packs)
-        c1 = (np.asarray(w_a1, dtype=object) - s) % t
+            # client side: decrypt and subtract the mask share
+            w_a1 = result.decrypt(self.scheme)
+            self.stats.decrypted_packs += len(result.packs)
+            c1 = (np.asarray(w_a1, dtype=object) - s) % t
 
-        # server side: local cleartext half
-        c2 = (matrix.astype(object) @ a2.astype(object) + s) % t
+            # server side: local cleartext half
+            c2 = (matrix.astype(object) @ a2.astype(object) + s) % t
 
         self.stats.triples += 1
+        obs.inc("apps.beaver.triples")
         return BeaverTriple(matrix=matrix, a1=a1, a2=a2, c1=c1, c2=c2, t=t)
 
     def _rand_small(self, k: int) -> np.ndarray:

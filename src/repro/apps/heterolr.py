@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.hmvp import TiledHmvp
 from ..he.bfv import BfvScheme
 from ..he.encoder import FixedPointCodec
@@ -275,14 +276,23 @@ class HeteroLrTrainer:
         w_a = np.zeros(data.features_a.shape[1])
         w_b = np.zeros(data.features_b.shape[1])
         history = TrainHistory()
-        for _epoch in range(cfg.epochs):
-            for _sl, x_a, x_b, y in data.batches(cfg.batch_size):
-                g_a, g_b = self._batch_gradients(x_a, x_b, y, w_a, w_b)
-                if cfg.l2:
-                    g_a = g_a + cfg.l2 * w_a
-                    g_b = g_b + cfg.l2 * w_b
-                w_a = w_a - cfg.learning_rate * g_a
-                w_b = w_b - cfg.learning_rate * g_b
+        for epoch in range(cfg.epochs):
+            with obs.span(
+                "heterolr.epoch", epoch=epoch, backend=self.backend.name
+            ):
+                for batch_idx, (_sl, x_a, x_b, y) in enumerate(
+                    data.batches(cfg.batch_size)
+                ):
+                    with obs.span(
+                        "heterolr.batch", epoch=epoch, batch=batch_idx
+                    ):
+                        g_a, g_b = self._batch_gradients(x_a, x_b, y, w_a, w_b)
+                    obs.inc("apps.heterolr.batches")
+                    if cfg.l2:
+                        g_a = g_a + cfg.l2 * w_a
+                        g_b = g_b + cfg.l2 * w_b
+                    w_a = w_a - cfg.learning_rate * g_a
+                    w_b = w_b - cfg.learning_rate * g_b
             w = np.concatenate([w_a, w_b])
             z = data.full_features @ w
             pred = taylor_sigmoid(z)
@@ -293,6 +303,9 @@ class HeteroLrTrainer:
                 + (1 - data.labels) * np.log(1 - clipped)
             )
             acc = float(np.mean((z > 0) == (data.labels == 1)))
+            obs.inc("apps.heterolr.epochs")
+            obs.set_gauge("apps.heterolr.loss", float(loss))
+            obs.set_gauge("apps.heterolr.accuracy", acc)
             history.losses.append(float(loss))
             history.accuracies.append(acc)
         history.counts.merge(self.backend.counts)

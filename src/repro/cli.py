@@ -13,18 +13,47 @@ Gives a downstream user the zero-code tour:
 ``params``
     show (or generate) a parameter set;
 ``dse``
-    run the design-space sweep and print the frontier.
+    run the design-space sweep and print the frontier;
+``metrics``
+    run a small instrumented workload and print the metrics-registry
+    snapshot (counters / gauges / histograms).
+
+``demo``, ``trace`` and ``report`` additionally accept
+``--trace-out FILE`` to dump a Chrome-trace-format span file, loadable
+in ``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from typing import List, Optional
 
 import numpy as np
 
 __all__ = ["main"]
+
+
+@contextlib.contextmanager
+def _tracing(path: Optional[str]):
+    """Enable the default tracer around a command body and export."""
+    if not path:
+        yield
+        return
+    from repro.obs import TRACER, disable_tracing, enable_tracing
+
+    enable_tracing()
+    try:
+        yield
+    finally:
+        disable_tracing()
+        TRACER.export_chrome_trace(path)
+        print(
+            f"trace written to {path} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -40,9 +69,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     matrix = rng.integers(-(1 << 12), 1 << 12, (rows, n))
     vector = rng.integers(-(1 << 12), 1 << 12, n)
     print(f"params : {params.describe()}")
-    ct = scheme.encrypt_vector(vector)
-    result = hmvp(scheme, matrix, ct)
-    got = result.decrypt(scheme)
+    with _tracing(args.trace_out):
+        ct = scheme.encrypt_vector(vector)
+        result = hmvp(scheme, matrix, ct)
+        got = result.decrypt(scheme)
     want = matrix.astype(object) @ vector.astype(object)
     ok = bool(np.array_equal(got, want))
     print(f"HMVP   : {rows}x{n}, {result.ops.pack_reductions} reductions, "
@@ -94,10 +124,21 @@ def _cmd_tables(_args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.hw.arch import EngineConfig
-    from repro.hw.trace import capture_trace, render_gantt
+    from repro.hw.trace import capture_trace, chrome_trace_events, render_gantt
 
     trace = capture_trace(EngineConfig(), rows=args.rows, col_tiles=args.tiles)
     print(render_gantt(trace, width=args.width))
+    if args.trace_out:
+        payload = {
+            "traceEvents": chrome_trace_events(trace),
+            "displayTimeUnit": "ms",
+        }
+        with open(args.trace_out, "w") as fh:
+            json.dump(payload, fh)
+        print(
+            f"trace written to {args.trace_out} "
+            "(1 cycle = 1 us; load in chrome://tracing or ui.perfetto.dev)"
+        )
     return 0
 
 
@@ -153,11 +194,62 @@ def _cmd_energy(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
 
-    text = generate_report(args.output)
+    with _tracing(args.trace_out):
+        text = generate_report(args.output)
     if args.output:
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one instrumented tour of the stack and print the registry.
+
+    The workload touches every layer that reports metrics: a functional
+    HMVP (NTT/modmul counters, pack reductions), a noise-budget readout
+    (gauges), a macro-pipeline simulation (stage occupancy, stalls) and
+    an RAS runtime job + health check (the paper's monitoring counters).
+    """
+    from repro import obs
+    from repro.core.hmvp import hmvp
+    from repro.he.bfv import BfvScheme
+    from repro.he.noise import packed_slot_positions
+    from repro.he.params import toy_params
+    from repro.hw.arch import EngineConfig
+    from repro.hw.pipeline import MacroPipeline
+    from repro.hw.runtime import FpgaRuntime
+
+    reg = obs.enable_metrics()
+    rows = args.rows
+    params = toy_params(n=256, plain_bits=40)
+    scheme = BfvScheme(params, seed=args.seed, max_pack=rows)
+    rng = np.random.default_rng(args.seed)
+    matrix = rng.integers(-(1 << 12), 1 << 12, (rows, params.n))
+    vector = rng.integers(-(1 << 12), 1 << 12, params.n)
+    result = hmvp(scheme, matrix, scheme.encrypt_vector(vector))
+    scheme.noise_budget(
+        result.packs[0].ct, packed_slot_positions(params.n, rows)
+    )
+    MacroPipeline(EngineConfig()).simulate_hmvp(1024)
+    runtime = FpgaRuntime()
+    runtime.poll(runtime.submit(rows))
+    runtime.health()
+
+    snap = reg.snapshot()
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0
+    print(f"== metrics registry snapshot ({len(reg)} instruments) ==")
+    for name, value in snap["counters"].items():
+        print(f"  counter   {name:35s} {value:,}")
+    for name, value in snap["gauges"].items():
+        print(f"  gauge     {name:35s} {value:,.3f}")
+    for name, h in snap["histograms"].items():
+        print(
+            f"  histogram {name:35s} n={h['count']} mean={h['mean']:,.1f} "
+            f"min={h['min']:,.1f} max={h['max']:,.1f}"
+        )
     return 0
 
 
@@ -186,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--production", action="store_true",
                       help="use the full N=4096 parameter set")
+    demo.add_argument("--trace-out", metavar="FILE", default=None,
+                      help="write a Chrome-trace span file of the run")
     demo.set_defaults(func=_cmd_demo)
 
     tables = sub.add_parser("tables", help="print headline reproduced tables")
@@ -195,6 +289,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rows", type=int, default=32)
     trace.add_argument("--tiles", type=int, default=1)
     trace.add_argument("--width", type=int, default=72)
+    trace.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the pipeline events as a Chrome trace")
     trace.set_defaults(func=_cmd_trace)
 
     params = sub.add_parser("params", help="show/generate a parameter set")
@@ -219,7 +315,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full reproduction report (markdown)")
     report.add_argument("--output", "-o", default=None)
+    report.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write per-section spans as a Chrome trace")
     report.set_defaults(func=_cmd_report)
+
+    metrics = sub.add_parser(
+        "metrics", help="run an instrumented workload, print the registry"
+    )
+    metrics.add_argument("--rows", type=int, default=8)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--json", action="store_true",
+                         help="dump the snapshot as JSON")
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

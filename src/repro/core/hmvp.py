@@ -27,8 +27,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..he.bfv import BfvScheme
-from ..he.lwe import LweCiphertext
+from ..he.lwe import LweCiphertext, extract_lwe
 from ..he.packing import PackedResult
 from ..he.rlwe import RlweCiphertext
 
@@ -132,8 +133,14 @@ def _dot_product_lwes(
     """Rows -> dot products -> extracted LWEs (pipeline stages 1-4)."""
     lwes = []
     for i in range(matrix.shape[0]):
-        ct_dot = scheme.dot_product(ct_v, matrix[i])
-        lwes.append(scheme.extract(ct_dot, 0))
+        # stages 1-3 (spans NTT / MULTPOLY / INTT inside multiply_plain)
+        pt_row = scheme.encoder.encode_row(np.asarray(matrix[i]))
+        prod = ct_v.multiply_plain(pt_row)
+        # stage 4: drop the special modulus and pull out the LWE sample
+        with obs.span("RESCALE+EXTRACT", row=i):
+            ct_dot = prod.rescale() if prod.is_augmented else prod
+            lwes.append(extract_lwe(ct_dot, 0))
+    obs.inc("core.hmvp.dot_products", matrix.shape[0])
     tally = HmvpOpCount.for_dot_products(
         matrix.shape[0], matrix.shape[1], len(scheme.ctx.aug_basis)
     )

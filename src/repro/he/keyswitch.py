@@ -21,6 +21,7 @@ from typing import Tuple
 
 import numpy as np
 
+from .. import obs
 from ..math.modular import modadd_vec, modmul_vec
 from .context import CheContext
 from .keys import KeySwitchKey
@@ -45,6 +46,7 @@ def key_switch_raw(
     ct_moduli = params.ct_moduli
     if c.shape != (len(ct_moduli), ctx.n):
         raise ValueError(f"expected normal-basis stack, got shape {c.shape}")
+    obs.inc("he.keyswitch.calls")
 
     acc0 = np.zeros((len(aug), ctx.n), dtype=np.uint64)
     acc1 = np.zeros((len(aug), ctx.n), dtype=np.uint64)
@@ -80,7 +82,8 @@ def apply_keyswitch(ct: RlweCiphertext, ksk: KeySwitchKey) -> RlweCiphertext:
             "key-switching operates on normal-basis ciphertexts "
             "(rescale the augmented ciphertext first)"
         )
-    d0, d1 = key_switch_raw(ctx, ct.c1, ksk)
+    with obs.span("KEYSWITCH", limbs=len(ct.basis)):
+        d0, d1 = key_switch_raw(ctx, ct.c1, ksk)
     c0 = np.stack(
         [modadd_vec(ct.c0[i], d0[i], q) for i, q in enumerate(ct.basis)]
     )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .. import obs
 from .context import CheContext
 from .keys import SecretKey
 from .rlwe import RlweCiphertext
@@ -71,7 +72,9 @@ def absolute_noise_bits(
     """
     worst, _modulus = _invariant_residual(ctx, sk, ct, positions)
     e_equiv = worst / ctx.t
-    return math.log2(e_equiv) if e_equiv > 1 else 0.0
+    bits = math.log2(e_equiv) if e_equiv > 1 else 0.0
+    obs.set_gauge("he.noise.abs_bits", bits)
+    return bits
 
 
 def invariant_noise_budget(
@@ -84,8 +87,12 @@ def invariant_noise_budget(
     """
     worst, modulus = _invariant_residual(ctx, sk, ct, positions)
     if worst == 0:
-        return float(modulus.bit_length())
-    return math.log2(modulus) - math.log2(2 * worst)
+        budget = float(modulus.bit_length())
+    else:
+        budget = math.log2(modulus) - math.log2(2 * worst)
+    obs.set_gauge("he.noise.budget_bits", budget)
+    obs.observe("he.noise.budget_bits.hist", budget)
+    return budget
 
 
 def packed_slot_positions(n: int, count: int) -> "list[int]":

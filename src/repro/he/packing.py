@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from .. import obs
 from .automorphism import apply_automorphism
 from .keys import GaloisKeyset
 from .lwe import LweCiphertext, lwe_to_rlwe
@@ -77,6 +78,7 @@ def pack_two_lwes(
     stride = n >> level
     if stride < 1:
         raise ValueError(f"level {level} exceeds log2(n)={n.bit_length() - 1}")
+    obs.inc("he.pack.reductions")
     g = (1 << level) + 1
     ct_mono = ct_odd.multiply_monomial(stride)
     ct_plus = ct_even + ct_mono
@@ -119,7 +121,9 @@ def pack_lwes(
         stats["reductions"] += 1
         return pack_two_lwes(level, ct_even, ct_odd, galois_keys)
 
-    packed = recurse(rlwes)
+    with obs.span("PACK", count=count, levels=levels):
+        packed = recurse(rlwes)
+    obs.inc("he.pack.calls")
     return PackedResult(
         ct=packed, count=count, scale_pow2=levels, reductions=stats["reductions"]
     )

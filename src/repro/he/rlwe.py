@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..math.modular import (
     modadd_vec,
     modmul_vec,
@@ -174,18 +175,25 @@ class RlweCiphertext:
         the NTT of the plaintext, and INTT — exactly the DOTPRODUCT module
         when ``pt`` is a row encoding (Eq. 2).
         """
+        obs.inc("he.rlwe.multiply_plain")
         limbs = plaintext_limbs(self.ctx, pt, self.basis)
-        pt_ntt = self.ctx.ntt_limbs(limbs, self.basis)
-        out = []
-        for comp in (self.c0, self.c1):
-            comp_ntt = self.ctx.ntt_limbs(comp, self.basis)
-            prod = np.stack(
-                [
-                    modmul_vec(comp_ntt[i], pt_ntt[i], q)
-                    for i, q in enumerate(self.basis)
-                ]
-            )
-            out.append(self.ctx.intt_limbs(prod, self.basis))
+        with obs.span("NTT", limbs=len(self.basis), polys=3):
+            pt_ntt = self.ctx.ntt_limbs(limbs, self.basis)
+            comp_ntts = [
+                self.ctx.ntt_limbs(comp, self.basis) for comp in (self.c0, self.c1)
+            ]
+        with obs.span("MULTPOLY", limbs=len(self.basis)):
+            prods = [
+                np.stack(
+                    [
+                        modmul_vec(comp_ntt[i], pt_ntt[i], q)
+                        for i, q in enumerate(self.basis)
+                    ]
+                )
+                for comp_ntt in comp_ntts
+            ]
+        with obs.span("INTT", limbs=len(self.basis), polys=2):
+            out = [self.ctx.intt_limbs(prod, self.basis) for prod in prods]
         return RlweCiphertext(self.ctx, self.basis, out[0], out[1])
 
     def multiply_scalar(self, value: int) -> "RlweCiphertext":
@@ -231,6 +239,7 @@ class RlweCiphertext:
         """
         if not self.is_augmented:
             raise ValueError("rescale applies to augmented ciphertexts only")
+        obs.inc("he.rlwe.rescale")
         c0 = self.basis.rescale_last(self.c0)
         c1 = self.basis.rescale_last(self.c1)
         return RlweCiphertext(self.ctx, self.ctx.ct_basis, c0, c1)

@@ -51,7 +51,13 @@ from .perf import (
     hmvp_latency_all,
 )
 from .floorplan import SLR_COUNT, SlrPlan, auto_floorplan, plan_cham
-from .trace import PipelineTrace, TraceEvent, capture_trace, render_gantt
+from .trace import (
+    PipelineTrace,
+    TraceEvent,
+    capture_trace,
+    chrome_trace_events,
+    render_gantt,
+)
 from .memory import JobTraffic, StagingBuffer, job_traffic, sustained_bandwidth
 from .power import PowerModel, energy_per_hmvp
 from .validation import ConsistencyReport, validate_consistency
@@ -126,6 +132,7 @@ __all__ = [
     "PipelineTrace",
     "TraceEvent",
     "capture_trace",
+    "chrome_trace_events",
     "render_gantt",
     "SLR_COUNT",
     "SlrPlan",

@@ -28,6 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs.metrics import REGISTRY as _METRICS
 from .arch import ChamConfig, EngineConfig
 
 __all__ = ["PipelineStats", "MacroPipeline", "simulate_multi_engine"]
@@ -58,6 +59,26 @@ class PipelineStats:
 
     def throughput_rows_per_sec(self, clock_hz: float) -> float:
         return self.rows * clock_hz / max(self.total_cycles, 1)
+
+    def record_metrics(self, registry=None) -> None:
+        """Export this run into a metrics registry (default: the global).
+
+        Counters accumulate across simulations (reductions, preemptions,
+        reduce-buffer stall cycles); gauges hold the latest run's stage
+        occupancy; the cycle histogram tracks the job-size distribution.
+        """
+        reg = registry if registry is not None else _METRICS
+        if not reg.enabled:
+            return
+        reg.inc("hw.pipeline.simulations")
+        reg.inc("hw.pipeline.dot_products", self.dot_products)
+        reg.inc("hw.pipeline.reductions", self.reductions)
+        reg.inc("hw.pipeline.preemptions", self.preemptions)
+        reg.inc("hw.pipeline.stall_cycles", self.stall_cycles)
+        reg.set_gauge("hw.pipeline.dot_occupancy", self.dot_utilization)
+        reg.set_gauge("hw.pipeline.pack_occupancy", self.pack_utilization)
+        reg.set_gauge("hw.pipeline.reduce_buffer_peak", self.reduce_buffer_peak)
+        reg.observe("hw.pipeline.total_cycles", self.total_cycles)
 
 
 @dataclass
@@ -171,7 +192,9 @@ class MacroPipeline:
 
         if padded == 1:
             t = self.fill_cycles + col_tiles * self.dot_interval
-            return PipelineStats(
+            if trace is not None:
+                trace.append((t, "dot", 0))
+            stats = PipelineStats(
                 rows=rows,
                 col_tiles=col_tiles,
                 total_cycles=t,
@@ -183,6 +206,8 @@ class MacroPipeline:
                 dot_busy_cycles=col_tiles * self.dot_interval,
                 pack_busy_cycles=0,
             )
+            stats.record_metrics()
+            return stats
 
         while reductions_done < total_reductions:
             now = pack_free_at
@@ -250,7 +275,7 @@ class MacroPipeline:
                 pack_free_at = t_next
 
         dot_busy = dot_products * self.dot_interval
-        return PipelineStats(
+        stats = PipelineStats(
             rows=rows,
             col_tiles=col_tiles,
             total_cycles=finish_time,
@@ -262,6 +287,8 @@ class MacroPipeline:
             dot_busy_cycles=dot_busy,
             pack_busy_cycles=pack_busy,
         )
+        stats.record_metrics()
+        return stats
 
 
 def simulate_multi_engine(

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from .arch import ChamConfig, cham_default_config
 from .pipeline import MacroPipeline
 
@@ -105,6 +106,25 @@ class HealthReport:
     @property
     def healthy(self) -> bool:
         return self.jobs_failed == 0 and self.temperature_c < 95.0
+
+    def record_metrics(self, registry=None) -> None:
+        """Re-export the RAS counters through the metrics registry, so
+        the paper's health-monitoring endpoint and the rest of the stack
+        share one sink.  Values are absolute snapshots, hence gauges."""
+        reg = registry if registry is not None else obs.REGISTRY
+        if not reg.enabled:
+            return
+        for name in (
+            "jobs_completed",
+            "jobs_failed",
+            "register_retries",
+            "hangs_detected",
+            "resets",
+            "busy_cycles",
+            "temperature_c",
+        ):
+            reg.set_gauge(f"hw.runtime.{name}", getattr(self, name))
+        reg.set_gauge("hw.runtime.healthy", float(self.healthy))
 
 
 class VirtualFpga:
@@ -240,7 +260,7 @@ class FpgaRuntime:
         completed = len(self._completed)
         # toy thermal model: idle 45C, + up to 30C with accumulated load
         temp = 45.0 + 30.0 * min(self.busy_cycles / 3e9, 1.0)
-        return HealthReport(
+        report = HealthReport(
             jobs_completed=completed,
             jobs_failed=self.jobs_failed,
             register_retries=self.register_retries,
@@ -249,6 +269,8 @@ class FpgaRuntime:
             busy_cycles=self.busy_cycles,
             temperature_c=temp,
         )
+        report.record_metrics()
+        return report
 
 
 @dataclass

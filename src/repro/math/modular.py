@@ -20,6 +20,8 @@ from typing import Iterable, List, Tuple, Union
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY as _METRICS
+
 __all__ = [
     "MAX_MODULUS_BITS",
     "SPLIT_BITS",
@@ -96,6 +98,9 @@ def modmul_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
         )
     a = _as_u64(a)
     b = _as_u64(b)
+    if _METRICS.enabled:
+        _METRICS.inc("math.modmul.calls")
+        _METRICS.inc("math.modmul.coefficients", int(max(a.size, b.size)))
     qq = np.uint64(q)
     hi = (a >> _SHIFT) * b % qq
     lo = (a & _LOW_MASK) * b % qq

@@ -27,6 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY as _METRICS
 from .modular import modadd_vec, modinv, modmul_vec, modsub_vec
 from .primes import negacyclic_psi
 
@@ -119,6 +120,8 @@ class NegacyclicNtt:
             blocks[:, :, :t] = modadd_vec(u, v, q)
             blocks[:, :, t:] = modsub_vec(u, v, q)
             m *= 2
+        if _METRICS.enabled:
+            _METRICS.inc("math.ntt.forward", work.shape[0])
         return work.reshape(shape)
 
     def inverse(self, a: np.ndarray) -> np.ndarray:
@@ -141,10 +144,14 @@ class NegacyclicNtt:
             t *= 2
             m //= 2
         work = modmul_vec(work, np.uint64(self._n_inv), q)
+        if _METRICS.enabled:
+            _METRICS.inc("math.ntt.inverse", work.shape[0])
         return work.reshape(shape)
 
     def pointwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Coefficient-wise product in the transform domain (MULTPOLY)."""
+        if _METRICS.enabled:
+            _METRICS.inc("math.ntt.pointwise")
         return modmul_vec(a, b, self.q)
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:

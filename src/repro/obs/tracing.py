@@ -1,0 +1,292 @@
+"""Span tracing with JSONL and Chrome trace-event exporters.
+
+A :class:`Span` is one named interval with arbitrary key/value
+attributes; spans nest (a ``PACK`` span contains ``KEYSWITCH`` spans
+contains ``NTT`` spans) via a per-thread stack, so the exported trace
+reconstructs the call tree without any explicit parent bookkeeping.
+
+Two export formats:
+
+* **JSONL** — one JSON object per span, trivially greppable/loadable;
+* **Chrome trace-event format** — the ``{"traceEvents": [...]}`` JSON
+  that ``chrome://tracing`` and https://ui.perfetto.dev load directly,
+  using complete (``"ph": "X"``) events.  Macro-pipeline stage occupancy
+  can be inspected visually this way.
+
+Timestamps are microseconds.  Wall-clock spans (the context-manager API)
+use ``time.perf_counter`` relative to the tracer's epoch; *synthetic*
+spans with simulated timebases (the cycle-accurate pipeline traces) are
+injected with :meth:`Tracer.add_span` at caller-chosen timestamps and
+tracks.
+
+Like the metrics registry, the module-level :data:`TRACER` starts
+disabled: ``span()`` then returns a shared no-op context manager, so
+instrumentation left in hot paths costs one branch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "default_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "span",
+]
+
+
+@dataclass
+class Span:
+    """One completed (or synthetic) trace interval."""
+
+    name: str
+    ts_us: float  #: start, microseconds since the tracer epoch
+    dur_us: float
+    track: int = 0  #: Chrome ``tid``: one lane per thread or synthetic track
+    depth: int = 0  #: nesting depth inside its track (0 = top level)
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome_event(self) -> Dict[str, Any]:
+        """The ``"ph": "X"`` (complete) trace-event dict."""
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": self.ts_us,
+            "dur": self.dur_us,
+            "pid": 0,
+            "tid": self.track,
+        }
+        if self.args:
+            event["args"] = dict(self.args)
+        return event
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        return None
+
+    def set(self, **_attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one wall-clock span on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.args.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        self._tracer._push()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        end = time.perf_counter()
+        depth = self._tracer._pop()
+        self._tracer._record_wallclock(
+            self.name, self._start, end, depth, self.args
+        )
+
+
+class Tracer:
+    """Span collector with a context-manager API and two exporters."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+        self._track_names: Dict[int, str] = {}
+        self._thread_tracks: Dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **args: Any):
+        """Open a nested wall-clock span: ``with tracer.span("NTT"): ...``"""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, args)
+
+    def add_span(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        track: int = 0,
+        depth: int = 0,
+        **args: Any,
+    ) -> None:
+        """Inject a synthetic span (simulated timebase, e.g. cycles)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._spans.append(Span(name, ts_us, dur_us, track, depth, args))
+
+    def name_track(self, track: int, name: str) -> None:
+        """Label a track; exported as Chrome thread-name metadata."""
+        self._track_names[track] = name
+
+    # nesting stack ---------------------------------------------------------
+
+    def _push(self) -> None:
+        stack = getattr(self._local, "depth", 0)
+        self._local.depth = stack + 1
+
+    def _pop(self) -> int:
+        depth = getattr(self._local, "depth", 1) - 1
+        self._local.depth = depth
+        return depth
+
+    def _thread_track(self) -> int:
+        ident = threading.get_ident()
+        try:
+            return self._thread_tracks[ident]
+        except KeyError:
+            with self._lock:
+                return self._thread_tracks.setdefault(
+                    ident, len(self._thread_tracks) + 1
+                )
+
+    def _record_wallclock(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        depth: int,
+        args: Dict[str, Any],
+    ) -> None:
+        spn = Span(
+            name=name,
+            ts_us=(start - self._epoch) * 1e6,
+            dur_us=(end - start) * 1e6,
+            track=self._thread_track(),
+            depth=depth,
+            args=args,
+        )
+        with self._lock:
+            self._spans.append(spn)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Completed spans so far (chronological per track, not global)."""
+        with self._lock:
+            return list(self._spans)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+        self._epoch = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- exporters -----------------------------------------------------------
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """All spans as Chrome trace events, ``ts``-sorted per track,
+        preceded by thread-name metadata events for labeled tracks."""
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": track,
+                "args": {"name": label},
+            }
+            for track, label in sorted(self._track_names.items())
+        ]
+        events.extend(
+            s.to_chrome_event()
+            for s in sorted(self.spans, key=lambda s: (s.track, s.ts_us, -s.dur_us))
+        )
+        return events
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write ``{"traceEvents": [...]}`` loadable in chrome://tracing
+        and Perfetto."""
+        payload = {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+
+    def export_jsonl(self, path: str) -> None:
+        """Write one JSON object per span."""
+        with open(path, "w") as fh:
+            for s in sorted(self.spans, key=lambda s: (s.track, s.ts_us)):
+                fh.write(
+                    json.dumps(
+                        {
+                            "name": s.name,
+                            "ts_us": s.ts_us,
+                            "dur_us": s.dur_us,
+                            "track": s.track,
+                            "depth": s.depth,
+                            "args": s.args,
+                        }
+                    )
+                )
+                fh.write("\n")
+
+
+#: Process-wide default tracer; disabled until :func:`enable_tracing`.
+TRACER = Tracer(enabled=False)
+
+
+def default_tracer() -> Tracer:
+    return TRACER
+
+
+def enable_tracing(reset: bool = True) -> Tracer:
+    """Turn on the default tracer (optionally clearing prior spans)."""
+    if reset:
+        TRACER.reset()
+    TRACER.enabled = True
+    return TRACER
+
+
+def disable_tracing() -> Tracer:
+    TRACER.enabled = False
+    return TRACER
+
+
+def tracing_enabled() -> bool:
+    return TRACER.enabled
+
+
+def span(name: str, **args: Any):
+    """Module-level shorthand for ``TRACER.span(...)`` — the call sites'
+    one-liner: ``with obs.span("PACK", count=m): ...``"""
+    if not TRACER.enabled:
+        return _NULL_SPAN
+    return TRACER.span(name, **args)

@@ -202,18 +202,33 @@ def _section_noise() -> List[str]:
 
 def generate_report(path: Optional[str] = None) -> str:
     """Compute every headline number and return (optionally write) the
-    markdown report."""
-    sections = (
-        ["# CHAM reproduction report", "", "Generated by `python -m repro report`.", ""]
-        + _section_parameters()
-        + _section_table2()
-        + _section_ntt()
-        + _section_roofline()
-        + _section_dse()
-        + _section_hmvp()
-        + _section_apps()
-        + _section_noise()
-    )
+    markdown report.
+
+    Each section runs under a ``report.<name>`` span, so
+    ``python -m repro report --trace-out FILE`` shows where the
+    generation time goes (the DSE sweep dominates).
+    """
+    from repro import obs
+
+    parts = [
+        ("parameters", _section_parameters),
+        ("table2", _section_table2),
+        ("ntt", _section_ntt),
+        ("roofline", _section_roofline),
+        ("dse", _section_dse),
+        ("hmvp", _section_hmvp),
+        ("apps", _section_apps),
+        ("noise", _section_noise),
+    ]
+    sections = [
+        "# CHAM reproduction report",
+        "",
+        "Generated by `python -m repro report`.",
+        "",
+    ]
+    for name, build in parts:
+        with obs.span(f"report.{name}"):
+            sections += build()
     text = "\n".join(sections)
     if path:
         with open(path, "w") as fh:

@@ -1,8 +1,21 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    from repro import obs
+
+    obs.disable_metrics()
+    obs.REGISTRY.reset()
+    obs.disable_tracing()
+    obs.TRACER.reset()
 
 
 def test_demo(capsys):
@@ -80,3 +93,39 @@ def test_report_to_file(tmp_path, capsys):
     text = target.read_text()
     assert "roofline" in text
     assert "Beaver" in text
+
+
+def test_metrics(capsys):
+    assert main(["metrics", "--rows", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics registry snapshot" in out
+    assert "math.ntt.forward" in out
+    assert "he.noise.budget_bits" in out
+    assert "hw.runtime.healthy" in out
+
+
+def test_metrics_json(capsys):
+    assert main(["metrics", "--rows", "4", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["math.ntt.forward"] > 0
+    assert snap["gauges"]["he.noise.budget_bits"] > 0
+
+
+def test_demo_trace_out(tmp_path, capsys):
+    target = tmp_path / "demo.json"
+    assert main(["demo", "--rows", "4", "--trace-out", str(target)]) == 0
+    assert "trace written" in capsys.readouterr().out
+    payload = json.loads(target.read_text())
+    names = {e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"}
+    assert {"NTT", "MULTPOLY", "INTT", "RESCALE+EXTRACT", "PACK"} <= names
+
+
+def test_trace_trace_out(tmp_path, capsys):
+    target = tmp_path / "pipe.json"
+    assert main(
+        ["trace", "--rows", "8", "--trace-out", str(target)]
+    ) == 0
+    payload = json.loads(target.read_text())
+    names = {e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"}
+    assert any(n.startswith("DOTPRODUCT") for n in names)
+    assert any(n.startswith("PACKTWOLWES") for n in names)

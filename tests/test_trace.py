@@ -1,9 +1,17 @@
 """Tests for pipeline trace capture and rendering."""
 
+import json
+
 import pytest
 
 from repro.hw.arch import EngineConfig
-from repro.hw.trace import capture_trace, render_gantt
+from repro.hw.pipeline import MacroPipeline
+from repro.hw.trace import (
+    PipelineTrace,
+    capture_trace,
+    chrome_trace_events,
+    render_gantt,
+)
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +67,73 @@ def test_trace_with_column_tiles():
     # only fully-aggregated rows reach the pack side
     assert len(trace.dot_events) == 8
     assert trace.stats.dot_products == 16
+
+
+def test_trace_carries_engine():
+    """The trace remembers the engine it ran on, so lane durations come
+    from that engine rather than the default one."""
+    engine = EngineConfig(stage1_ntt_units=1)
+    trace = capture_trace(engine, rows=8)
+    assert trace.engine is engine
+    custom = MacroPipeline(engine).dot_interval
+    assert custom != MacroPipeline(EngineConfig()).dot_interval
+    dots = [
+        e for e in chrome_trace_events(trace)
+        if e.get("ph") == "X" and e["name"].startswith("DOTPRODUCT")
+    ]
+    assert all(e["dur"] == custom for e in dots)
+
+
+def test_render_gantt_engine_fallback(trace64):
+    """A trace without an engine (old pickles) falls back to defaults."""
+    legacy = PipelineTrace(stats=trace64.stats, events=trace64.events)
+    assert legacy.engine is None
+    assert render_gantt(legacy) == render_gantt(trace64)
+
+
+def test_empty_trace():
+    trace = PipelineTrace(stats=MacroPipeline(EngineConfig()).simulate_hmvp(1),
+                          events=[])
+    assert trace.max_pack_level() == 0
+    assert trace.first_overlap_cycle() is None
+    art = render_gantt(trace)
+    assert art.splitlines()[0].startswith("cycles 0 ..")
+    assert "#" not in art
+    assert chrome_trace_events(trace) != []  # still has the dot lane label
+
+
+def test_single_event_trace():
+    trace = capture_trace(EngineConfig(), rows=1)
+    assert len(trace.dot_events) == 1
+    assert trace.pack_events == []
+    art = render_gantt(trace)
+    dot_line = next(l for l in art.splitlines() if l.startswith("dot"))
+    assert "#" in dot_line
+
+
+def test_render_gantt_width_one(trace64):
+    """width=1 must not index out of bounds or divide by zero."""
+    art = render_gantt(trace64, width=1)
+    for line in art.splitlines()[1:]:
+        assert line.endswith("|")
+        assert len(line.split("|")[1]) == 1
+
+
+def test_chrome_trace_events_roundtrip(tmp_path, trace64):
+    events = chrome_trace_events(trace64)
+    path = tmp_path / "pipe.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    loaded = json.loads(path.read_text())["traceEvents"]
+    xs = [e for e in loaded if e["ph"] == "X"]
+    ms = [e for e in loaded if e["ph"] == "M"]
+    # one metadata label per lane: dot + each pack level
+    assert len(ms) == 1 + trace64.max_pack_level()
+    assert len(xs) == len(trace64.events)
+    # ts monotonically non-decreasing within each track
+    per_track = {}
+    for e in xs:
+        per_track.setdefault(e["tid"], []).append(e["ts"])
+    for ts_list in per_track.values():
+        assert ts_list == sorted(ts_list)
+    # dot lane is tid 0; pack levels land on their own tids
+    assert {e["tid"] for e in xs} == set(range(trace64.max_pack_level() + 1))
