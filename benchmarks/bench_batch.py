@@ -9,9 +9,11 @@ hoisted transforms.  This bench measures the functional amortization and
 prices it with the hardware model.
 """
 
+import time
+
 import numpy as np
 import pytest
-from conftest import print_table
+from conftest import print_table, record_result
 
 from repro.core.batch import BatchedHmvp
 from repro.core.hmvp import hmvp
@@ -73,6 +75,59 @@ def test_hardware_batching_throughput():
     ]
     print_table("Hardware batching (cycles)", ["scenario", "cycles"], rows)
     assert per_job < single
+
+
+def test_warm_vs_cold_latency(bench_scheme, batched, rng):
+    """Acceptance: serving a batch through the warm (matrix-resident)
+    engine is at least 2x faster than the cold per-call path.
+
+    Cold re-encodes and re-transforms every row per vector and packs
+    recursively; warm reuses the NTT-domain tiles, hoists the vector
+    transform, and runs the vectorized level-order pack.  Results are
+    appended to BENCH_batch.json via record_result.
+    """
+    batch = 8
+    vs = [rng.integers(-30, 30, 128) for _ in range(batch)]
+    cts = [bench_scheme.encrypt_vector(v) for v in vs]
+
+    # one untimed round of each so caches/JIT-ish warmup cancel out
+    batched.multiply_batch(cts[:1])
+    hmvp(bench_scheme, batched.matrix, cts[0])
+
+    start = time.perf_counter()
+    warm_results = batched.multiply_batch(cts)
+    warm_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_results = [hmvp(bench_scheme, batched.matrix, ct) for ct in cts]
+    cold_s = time.perf_counter() - start
+
+    for w, c in zip(warm_results, cold_results):
+        assert np.array_equal(
+            w.decrypt(bench_scheme), c.decrypt(bench_scheme)
+        )
+    speedup = cold_s / warm_s
+    print_table(
+        f"Warm vs cold batched HMVP (8x128 matrix, batch={batch})",
+        ["path", "seconds", "per vector (ms)"],
+        [
+            ("cold (per-call hmvp)", f"{cold_s:.3f}", f"{1e3 * cold_s / batch:.1f}"),
+            ("warm (matrix-resident)", f"{warm_s:.3f}", f"{1e3 * warm_s / batch:.1f}"),
+            ("speedup", f"{speedup:.2f}x", ""),
+        ],
+    )
+    record_result(
+        "batch",
+        {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": speedup,
+            "amortized_ntts_per_vector": batched.amortized_op_count(batch).ntts
+            / batch,
+        },
+        params={"rows": 8, "cols": 128, "batch": batch},
+    )
+    assert speedup >= 2.0, f"warm path only {speedup:.2f}x faster than cold"
 
 
 @pytest.mark.benchmark(group="batch")

@@ -1,129 +1,579 @@
-"""Multi-vector (batched) HMVP: encrypted matrix-matrix products.
+"""Matrix-resident batched HMVP: one plaintext matrix, many vectors.
 
-The paper's introduction cites batched processing as the standard
-amortization trick ("up to 4096 encrypted images can be evaluated
-simultaneously").  For CHAM's workload shape this means one plaintext
-matrix applied to *many* encrypted vectors — e.g. per-sample gradient
-vectors in HeteroLR, or a batch of private-inference activations.
+CHAM's deployment story (Section V) is *many vectors against one
+resident matrix* — HeteroLR streams thousands of mini-batches through
+the same weight layout, Beaver triple generation streams vectors through
+fixed tiles, and the paper's introduction cites batching as the standard
+amortization ("up to 4096 encrypted images can be evaluated
+simultaneously").  This module serves that shape:
 
-:class:`BatchedHmvp` amortizes what the hardware amortizes:
+* :class:`EncodedMatrix` — each row tile is Eq. 1-encoded and
+  forward-NTT'd **once**, stored per RNS limb as a frozen
+  ``(L_aug, rows, n)`` stack (the URAM-resident staging of
+  Section III-C), keyed by a content fingerprint;
+* :class:`EncodedMatrixCache` — a thread-safe LRU over fingerprints, so
+  repeat engines for the same matrix skip encoding entirely
+  (``batch.cache.hit`` / ``batch.cache.miss`` counters);
+* :class:`BatchedHmvp` — hoists each vector ciphertext's forward NTT
+  once per request, runs every row of a tile through one vectorized
+  dot/rescale/extract pass, aggregates partial LWEs across column tiles,
+  and emits a *single* batched pack per row tile; batches fan row-tile
+  work across a ``concurrent.futures`` worker pool;
+* :class:`BatchQueue` — ``submit``/``drain`` request queue that maps a
+  drained batch onto :class:`repro.hw.runtime.JobScheduler` engines so
+  the simulator prices the batched schedule.
 
-* the matrix rows are encoded and forward-NTT'd **once** (they stay
-  resident in the engines' URAM staging buffers, Section III-C) and
-  reused across every vector;
-* each vector then costs only its own transforms, products and pack.
-
-Functionally this is exact; the op-count deltas (cached vs. uncached)
-feed the performance model and the batching bench.
+Functionally everything is exact (bit-identical to the per-call
+:func:`repro.core.hmvp.hmvp` path); the op-count deltas feed the
+performance model and ``benchmarks/bench_batch.py``.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import hashlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..he.bfv import BfvScheme
-from ..he.lwe import LweCiphertext
-from ..he.rlwe import RlweCiphertext, plaintext_limbs
-from ..math.modular import modmul_vec
+from ..he.packing import PackedResult, pack_stacked_lwes
+from ..he.params import CheParams
+from ..he.rlwe import RlweCiphertext
+from ..hw.runtime import Job, JobScheduler, QueueReport
+from ..math.modular import modadd_vec, modmul_vec, modneg_vec
+from ..math.ntt import freeze_array
 from .hmvp import HmvpOpCount, HmvpResult
 
+__all__ = [
+    "matrix_fingerprint",
+    "EncodedMatrix",
+    "EncodedMatrixCache",
+    "MATRIX_CACHE",
+    "encode_matrix",
+    "BatchedHmvp",
+    "BatchDrainReport",
+    "BatchQueue",
+]
 
-__all__ = ["BatchedHmvp"]
+
+def matrix_fingerprint(
+    matrix: np.ndarray, params: CheParams, tile_rows: int = 0
+) -> str:
+    """Content fingerprint of an encoded matrix.
+
+    Hashes the matrix values together with everything the NTT-domain
+    encoding depends on (shape, ring degree, plaintext modulus, RNS
+    moduli, tiling) — a mutated matrix or a different parameter set
+    can never alias a cached encoding.
+    """
+    h = hashlib.sha256()
+    arr = np.asarray(matrix)
+    meta = (
+        arr.shape,
+        params.n,
+        params.plain_modulus,
+        tuple(params.ct_moduli),
+        params.special_modulus,
+        tile_rows,
+    )
+    h.update(repr(meta).encode())
+    if arr.dtype == object:
+        h.update(repr(arr.tolist()).encode())
+    else:
+        h.update(np.ascontiguousarray(arr.astype(np.int64)).tobytes())
+    return h.hexdigest()
+
+
+def _encode_rows_eq1(block: np.ndarray, n: int, t: int) -> np.ndarray:
+    """Vectorized Eq. 1 row encoding of a ``(rows, width)`` block.
+
+    Row-for-row identical to ``CoefficientEncoder.encode_row``:
+    ``pt^(A_i) = A_{i,0} - sum_{j>=1} A_{i,j} X^{N-j}``.
+    """
+    rows, width = block.shape
+    reduced = np.mod(block.astype(object), t).astype(np.uint64)
+    coeffs = np.zeros((rows, n), dtype=np.uint64)
+    coeffs[:, 0] = reduced[:, 0]
+    if width > 1:
+        neg = (np.uint64(t) - reduced[:, 1:]) % np.uint64(t)
+        coeffs[:, n - (width - 1) :] = neg[:, ::-1]
+    return coeffs
+
+
+def _centered_limbs(coeffs: np.ndarray, t: int, basis) -> np.ndarray:
+    """Centered lift + per-limb reduction of plaintext coefficients.
+
+    Matches ``plaintext_limbs`` (Plaintext.centered then
+    signed_to_limbs) for stacked ``(rows, n)`` input.
+    """
+    half = t // 2
+    c = coeffs.astype(np.int64)
+    signed = np.where(c > half, c - t, c)
+    return np.stack([np.mod(signed, q).astype(np.uint64) for q in basis])
+
+
+@dataclass
+class EncodedMatrix:
+    """A matrix encoded once, resident in the NTT domain per row tile.
+
+    ``tiles[(rt, ct)]`` is the frozen ``(L_aug, rows_in_tile, n)`` stack
+    of forward-transformed Eq. 1 row encodings for row tile ``rt``
+    against column tile ``ct``.
+    """
+
+    fingerprint: str
+    shape: Tuple[int, int]
+    ring_n: int
+    tile_rows: int
+    tiles: Dict[Tuple[int, int], np.ndarray] = field(repr=False)
+    encode_ops: HmvpOpCount = field(default_factory=HmvpOpCount)
+
+    @property
+    def row_tiles(self) -> int:
+        return -(-self.shape[0] // self.tile_rows)
+
+    @property
+    def col_tiles(self) -> int:
+        return -(-self.shape[1] // self.ring_n)
+
+    def row_tile_rows(self, rt: int) -> int:
+        start = rt * self.tile_rows
+        return min(self.tile_rows, self.shape[0] - start)
+
+    @classmethod
+    def encode(
+        cls,
+        scheme: BfvScheme,
+        matrix: np.ndarray,
+        tile_rows: Optional[int] = None,
+    ) -> "EncodedMatrix":
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        m, n_cols = matrix.shape
+        ring = scheme.params.n
+        tile_rows = min(tile_rows or ring, ring)
+        ctx = scheme.ctx
+        aug = ctx.aug_basis
+        t = scheme.params.plain_modulus
+        tiles: Dict[Tuple[int, int], np.ndarray] = {}
+        with obs.span("batch.encode", rows=m, cols=n_cols):
+            for rt, row_start in enumerate(range(0, m, tile_rows)):
+                row_block = matrix[row_start : row_start + tile_rows]
+                for ct, col_start in enumerate(range(0, n_cols, ring)):
+                    block = row_block[:, col_start : col_start + ring]
+                    coeffs = _encode_rows_eq1(block, ring, t)
+                    limbs = _centered_limbs(coeffs, t, aug)
+                    tiles[(rt, ct)] = freeze_array(ctx.ntt_limbs(limbs, aug))
+        col_tiles = -(-n_cols // ring)
+        return cls(
+            fingerprint=matrix_fingerprint(matrix, scheme.params, tile_rows),
+            shape=(m, n_cols),
+            ring_n=ring,
+            tile_rows=tile_rows,
+            tiles=tiles,
+            encode_ops=HmvpOpCount(ntts=m * len(aug) * col_tiles),
+        )
+
+
+class EncodedMatrixCache:
+    """Thread-safe LRU of :class:`EncodedMatrix` entries by fingerprint.
+
+    The fingerprint covers the matrix content, so mutating a matrix and
+    re-submitting it *misses* (no stale NTT-domain rows are ever
+    served); re-submitting unchanged content hits and skips the encode.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, EncodedMatrix]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_encode(
+        self,
+        scheme: BfvScheme,
+        matrix: np.ndarray,
+        tile_rows: Optional[int] = None,
+    ) -> EncodedMatrix:
+        ring = scheme.params.n
+        effective_tile = min(tile_rows or ring, ring)
+        key = matrix_fingerprint(matrix, scheme.params, effective_tile)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if entry is not None:
+            obs.inc("batch.cache.hit")
+            return entry
+        obs.inc("batch.cache.miss")
+        # encode outside the lock: concurrent misses on the same key do
+        # redundant work but never block each other or corrupt the map
+        encoded = EncodedMatrix.encode(scheme, matrix, tile_rows=tile_rows)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = encoded
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return encoded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default cache (what :class:`BatchedHmvp` uses unless an
+#: explicit cache is passed).
+MATRIX_CACHE = EncodedMatrixCache()
+
+
+def encode_matrix(
+    scheme: BfvScheme,
+    matrix: np.ndarray,
+    *,
+    cache: Optional[EncodedMatrixCache] = None,
+    tile_rows: Optional[int] = None,
+) -> EncodedMatrix:
+    """Encode (or fetch from cache) the NTT-domain row tiles of a matrix."""
+    target = cache if cache is not None else MATRIX_CACHE
+    return target.get_or_encode(scheme, matrix, tile_rows=tile_rows)
 
 
 class BatchedHmvp:
-    """Apply one plaintext matrix to many encrypted vectors."""
+    """Apply one plaintext matrix to many encrypted vectors.
 
-    def __init__(self, scheme: BfvScheme, matrix: Sequence[Sequence[int]]) -> None:
+    Parameters
+    ----------
+    scheme:
+        The HE scheme (keys included).
+    matrix:
+        ``(m, n_cols)`` with ``m <= N``; ``n_cols`` may exceed the ring
+        degree, in which case requests supply one vector ciphertext per
+        column tile (see :meth:`multiply_tiles`).
+    cache:
+        Encoded-matrix cache; defaults to the module :data:`MATRIX_CACHE`.
+    tile_rows:
+        Rows per row tile (defaults to all rows: one pack per request).
+    workers:
+        Default worker-pool width for :meth:`multiply_batch`.
+    """
+
+    def __init__(
+        self,
+        scheme: BfvScheme,
+        matrix: Sequence[Sequence[int]],
+        *,
+        cache: Optional[EncodedMatrixCache] = None,
+        tile_rows: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
         self.scheme = scheme
         matrix = np.asarray(matrix)
         if matrix.ndim != 2:
             raise ValueError("matrix must be 2-D")
-        m, n = matrix.shape
-        ring_n = scheme.params.n
-        if m > ring_n or n > ring_n:
-            raise ValueError("BatchedHmvp covers single-tile matrices")
+        m, _n_cols = matrix.shape
+        if m > scheme.params.n:
+            raise ValueError(
+                "BatchedHmvp covers single-tile row counts "
+                f"(m={m} > ring degree {scheme.params.n})"
+            )
         self.matrix = matrix
-        ctx = scheme.ctx
-        basis = ctx.aug_basis
-        # one-time: encode every row (Eq. 1) and hoist it to NTT domain
-        self._rows_ntt: List[np.ndarray] = []
-        for i in range(m):
-            pt = scheme.encoder.encode_row(matrix[i])
-            limbs = plaintext_limbs(ctx, pt, basis)
-            self._rows_ntt.append(ctx.ntt_limbs(limbs, basis))
-        self.encode_ops = HmvpOpCount(ntts=m * len(basis))
+        self.workers = workers
+        self.encoded = encode_matrix(
+            scheme, matrix, cache=cache, tile_rows=tile_rows
+        )
+        self.encode_ops = self.encoded.encode_ops
 
     @property
     def shape(self) -> "tuple[int, int]":
         return tuple(self.matrix.shape)
 
-    def _dot_cached(self, ct: RlweCiphertext, row_ntt: np.ndarray) -> RlweCiphertext:
-        """Stages 1-4 with the plaintext transform already resident."""
+    # -- per-request kernels ---------------------------------------------------
+
+    def _hoist(
+        self, ct: RlweCiphertext
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Forward NTT of the vector ciphertext, computed once per request."""
+        if not ct.is_augmented:
+            raise ValueError("vector ciphertext must be augmented")
+        with obs.span("batch.hoist", limbs=len(ct.basis)):
+            return ct.ntt_components()
+
+    def _tile_partial(
+        self,
+        tile_ntt: np.ndarray,
+        hoisted: "tuple[np.ndarray, np.ndarray]",
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """All rows of one tile through dot/rescale/extract in one pass.
+
+        Returns the stacked partial LWEs ``(b (L, rows), a (L, rows, n))``
+        — exactly what :func:`pack_stacked_lwes` consumes.
+        """
         ctx = self.scheme.ctx
-        basis = ct.basis
-        comps = []
-        for comp in (ct.c0, ct.c1):
-            comp_ntt = ctx.ntt_limbs(comp, basis)
-            prod = np.stack(
-                [
-                    modmul_vec(comp_ntt[i], row_ntt[i], q)
-                    for i, q in enumerate(basis)
-                ]
+        aug = ctx.aug_basis
+        ct_basis = ctx.ct_basis
+        c0n, c1n = hoisted
+        rows = tile_ntt.shape[1]
+        with obs.span("batch.dot", rows=rows):
+            prods = [
+                np.stack(
+                    [
+                        modmul_vec(tile_ntt[i], comp[i][None, :], q)
+                        for i, q in enumerate(aug)
+                    ]
+                )
+                for comp in (c0n, c1n)
+            ]
+            d0, d1 = (ctx.intt_limbs(p, aug) for p in prods)
+            r0 = aug.rescale_last(d0)
+            r1 = aug.rescale_last(d1)
+        # vectorized EXTRACTLWES at index 0: b = c0[..0];
+        # a[0] = c1[..0], a[j] = -c1[..n-j] for j >= 1
+        b = np.ascontiguousarray(r0[:, :, 0])
+        a = np.empty_like(r1)
+        a[..., 0] = r1[..., 0]
+        for i, q in enumerate(ct_basis):
+            a[i, :, 1:] = modneg_vec(r1[i, :, :0:-1], q)
+        return b, a
+
+    def _row_tile_pack(
+        self,
+        rt: int,
+        hoisted_tiles: Sequence["tuple[np.ndarray, np.ndarray]"],
+    ) -> PackedResult:
+        """One row tile of one request: partials -> aggregate -> pack."""
+        ctx = self.scheme.ctx
+        ct_basis = ctx.ct_basis
+        agg_b: Optional[np.ndarray] = None
+        agg_a: Optional[np.ndarray] = None
+        for ct_idx in range(self.encoded.col_tiles):
+            b, a = self._tile_partial(
+                self.encoded.tiles[(rt, ct_idx)], hoisted_tiles[ct_idx]
             )
-            comps.append(ctx.intt_limbs(prod, basis))
-        out = RlweCiphertext(ctx, basis, comps[0], comps[1])
-        return out.rescale()
+            if agg_b is None:
+                agg_b, agg_a = b, a
+            else:
+                # aggregate partial dot products as LWEs (cheap additions)
+                agg_b = np.stack(
+                    [modadd_vec(agg_b[i], b[i], q) for i, q in enumerate(ct_basis)]
+                )
+                agg_a = np.stack(
+                    [modadd_vec(agg_a[i], a[i], q) for i, q in enumerate(ct_basis)]
+                )
+        with obs.span("batch.pack", rows=agg_b.shape[1], row_tile=rt):
+            return pack_stacked_lwes(
+                ctx, ct_basis, agg_b, agg_a, self.scheme.galois_keys
+            )
+
+    def request_op_count(self) -> HmvpOpCount:
+        """Operation counts of one request against the resident matrix."""
+        m, n_cols = self.matrix.shape
+        limbs = len(self.scheme.ctx.ct_basis)
+        limbs_aug = limbs + 1
+        ring = self.encoded.ring_n
+        ops = HmvpOpCount()
+        for col_start in range(0, n_cols, ring):
+            width = min(ring, n_cols - col_start)
+            ops = ops + HmvpOpCount.for_cached_dot_products(m, width, limbs_aug)
+        if self.encoded.col_tiles > 1:
+            ops.lwe_additions += m * (self.encoded.col_tiles - 1)
+        for rt in range(self.encoded.row_tiles):
+            ops = ops + HmvpOpCount.for_pack(
+                self.encoded.row_tile_rows(rt), limbs, limbs_aug
+            )
+        return ops
+
+    # -- public entry points ---------------------------------------------------
+
+    def multiply_tiles(
+        self, ct_tiles: Sequence[RlweCiphertext]
+    ) -> HmvpResult:
+        """Full Alg. 1 for one request (one ciphertext per column tile)."""
+        if len(ct_tiles) != self.encoded.col_tiles:
+            raise ValueError(
+                f"need {self.encoded.col_tiles} vector tiles for "
+                f"{self.matrix.shape[1]} columns, got {len(ct_tiles)}"
+            )
+        hoisted = [self._hoist(ct) for ct in ct_tiles]
+        packs = [
+            self._row_tile_pack(rt, hoisted)
+            for rt in range(self.encoded.row_tiles)
+        ]
+        m, n_cols = self.matrix.shape
+        obs.inc("core.hmvp.dot_products", m * self.encoded.col_tiles)
+        return HmvpResult(
+            packs=packs, rows=m, cols=n_cols, ops=self.request_op_count()
+        )
 
     def multiply_one(self, ct_v: RlweCiphertext) -> HmvpResult:
         """Full Alg. 1 for one vector against the cached matrix."""
         if not ct_v.is_augmented:
             raise ValueError("vector ciphertext must be augmented")
-        m, n = self.matrix.shape
-        lwes: List[LweCiphertext] = []
-        for row_ntt in self._rows_ntt:
-            dot = self._dot_cached(ct_v, row_ntt)
-            lwes.append(self.scheme.extract(dot, 0))
-        packed = self.scheme.pack(lwes)
-        limbs = len(self.scheme.ctx.ct_basis)
-        limbs_aug = limbs + 1
-        ops = HmvpOpCount(
-            rows=m,
-            cols=n,
-            dot_products=m,
-            # the row transforms are cached: only ct fwd + product inverse
-            ntts=2 * limbs_aug,
-            intts=m * 2 * limbs_aug,
-            pointwise_mults=m * 2 * limbs_aug,
-            rescales=m,
-            extracts=m,
-        ) + HmvpOpCount.for_pack(m, limbs, limbs_aug)
-        return HmvpResult(packs=[packed], rows=m, cols=n, ops=ops)
+        if self.encoded.col_tiles != 1:
+            raise ValueError(
+                "matrix has multiple column tiles; use multiply_tiles"
+            )
+        return self.multiply_tiles([ct_v])
 
-    def multiply_batch(self, cts: Sequence[RlweCiphertext]) -> List[HmvpResult]:
-        """Apply the cached matrix to a batch of encrypted vectors."""
-        return [self.multiply_one(ct) for ct in cts]
+    def multiply_batch(
+        self,
+        cts: Sequence[RlweCiphertext],
+        workers: Optional[int] = None,
+    ) -> List[HmvpResult]:
+        """Apply the cached matrix to a batch of encrypted vectors.
+
+        Row-tile work items — one per ``(request, row_tile)`` pair — fan
+        out across a thread pool when ``workers > 1`` (the NumPy kernels
+        release the GIL for most of their runtime).
+        """
+        if self.encoded.col_tiles != 1:
+            raise ValueError(
+                "matrix has multiple column tiles; use multiply_tiles "
+                "per request"
+            )
+        pool_width = workers if workers is not None else (self.workers or 1)
+        m, n_cols = self.matrix.shape
+        obs.inc("batch.requests", len(cts))
+        with obs.span("batch.batch", requests=len(cts), workers=pool_width):
+            hoisted = [self._hoist(ct) for ct in cts]
+            tasks = [
+                (ri, rt)
+                for ri in range(len(cts))
+                for rt in range(self.encoded.row_tiles)
+            ]
+            if pool_width > 1 and len(tasks) > 1:
+                with ThreadPoolExecutor(max_workers=pool_width) as pool:
+                    packed = list(
+                        pool.map(
+                            lambda task: self._row_tile_pack(
+                                task[1], [hoisted[task[0]]]
+                            ),
+                            tasks,
+                        )
+                    )
+            else:
+                packed = [
+                    self._row_tile_pack(rt, [hoisted[ri]]) for ri, rt in tasks
+                ]
+        obs.inc("core.hmvp.dot_products", m * len(cts))
+        per_request = self.request_op_count()
+        results = []
+        tiles_per_req = self.encoded.row_tiles
+        for ri in range(len(cts)):
+            packs = packed[ri * tiles_per_req : (ri + 1) * tiles_per_req]
+            results.append(
+                HmvpResult(packs=packs, rows=m, cols=n_cols, ops=per_request)
+            )
+        return results
 
     def amortized_op_count(self, batch: int) -> HmvpOpCount:
         """Total ops for a batch, including the one-time encode."""
         total = HmvpOpCount()
         for name in vars(total):
             setattr(total, name, getattr(self.encode_ops, name))
-        m, n = self.matrix.shape
-        limbs = len(self.scheme.ctx.ct_basis)
-        limbs_aug = limbs + 1
-        per_vec = HmvpOpCount(
-            rows=m,
-            cols=n,
-            dot_products=m,
-            ntts=2 * limbs_aug,
-            intts=m * 2 * limbs_aug,
-            pointwise_mults=m * 2 * limbs_aug,
-            rescales=m,
-            extracts=m,
-        ) + HmvpOpCount.for_pack(m, limbs, limbs_aug)
+        per_vec = self.request_op_count()
         for _ in range(batch):
             total = total + per_vec
         return total
+
+
+@dataclass
+class BatchDrainReport:
+    """Results of one queue drain plus the simulator's pricing of it."""
+
+    request_ids: List[int]
+    results: List[HmvpResult]
+    schedule: QueueReport
+
+
+class BatchQueue:
+    """Request queue in front of a :class:`BatchedHmvp` engine.
+
+    ``submit`` enqueues encrypted vectors; ``drain`` runs the whole
+    pending batch through the engine (worker pool included) and maps it
+    onto the hardware simulator's :class:`JobScheduler` — one
+    :class:`Job` per (request, row tile), tagged with a batch id — so
+    every drain yields both the exact ciphertext results and the priced
+    schedule (makespan, per-engine utilization).
+    """
+
+    def __init__(
+        self,
+        engine: BatchedHmvp,
+        scheduler: Optional[JobScheduler] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.scheduler = scheduler or JobScheduler()
+        self.workers = workers
+        self._pending: List[Tuple[int, RlweCiphertext]] = []
+        self._next_request = 0
+        self._next_batch = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def submit(self, ct_v: RlweCiphertext) -> int:
+        """Enqueue one encrypted vector; returns its request id."""
+        if not ct_v.is_augmented:
+            raise ValueError("vector ciphertext must be augmented")
+        request_id = self._next_request
+        self._next_request += 1
+        self._pending.append((request_id, ct_v))
+        obs.inc("batch.queue.submitted")
+        obs.set_gauge("batch.queue.depth", len(self._pending))
+        return request_id
+
+    def drain(self) -> BatchDrainReport:
+        """Serve every pending request as one batch."""
+        pending, self._pending = self._pending, []
+        obs.set_gauge("batch.queue.depth", 0)
+        batch_id = self._next_batch
+        self._next_batch += 1
+        if not pending:
+            return BatchDrainReport(
+                request_ids=[],
+                results=[],
+                schedule=QueueReport(
+                    completions={}, makespan=0, per_engine_busy=[]
+                ),
+            )
+        with obs.span("batch.drain", requests=len(pending), batch=batch_id):
+            results = self.engine.multiply_batch(
+                [ct for _rid, ct in pending], workers=self.workers
+            )
+            jobs = []
+            encoded = self.engine.encoded
+            for rid, _ct in pending:
+                for rt in range(encoded.row_tiles):
+                    jobs.append(
+                        Job(
+                            job_id=rid * encoded.row_tiles + rt,
+                            rows=encoded.row_tile_rows(rt),
+                            col_tiles=encoded.col_tiles,
+                            batch_id=batch_id,
+                        )
+                    )
+            schedule = self.scheduler.schedule(jobs)
+        obs.observe("batch.drain.requests", len(pending))
+        obs.observe("batch.drain.makespan_cycles", schedule.makespan)
+        return BatchDrainReport(
+            request_ids=[rid for rid, _ct in pending],
+            results=results,
+            schedule=schedule,
+        )

@@ -31,7 +31,7 @@ from .. import obs
 from ..he.bfv import BfvScheme
 from ..he.lwe import LweCiphertext, extract_lwe
 from ..he.packing import PackedResult
-from ..he.rlwe import RlweCiphertext
+from ..he.rlwe import NttPlaintext, RlweCiphertext
 
 __all__ = ["HmvpOpCount", "HmvpResult", "hmvp", "TiledHmvp"]
 
@@ -84,6 +84,28 @@ class HmvpOpCount:
         )
 
     @classmethod
+    def for_cached_dot_products(
+        cls, rows: int, cols: int, limbs_aug: int
+    ) -> "HmvpOpCount":
+        """Stage 1-4 counts with matrix rows resident in the NTT domain.
+
+        Relative to :meth:`for_dot_products` the ``rows * limbs_aug``
+        per-row plaintext transforms vanish — the engines keep the row
+        tile staged (URAM-resident, Section III-C) and only the hoisted
+        ciphertext transform and the product inverse transforms remain.
+        """
+        return cls(
+            rows=rows,
+            cols=cols,
+            dot_products=rows,
+            ntts=2 * limbs_aug,
+            intts=rows * 2 * limbs_aug,
+            pointwise_mults=rows * 2 * limbs_aug,
+            rescales=rows,
+            extracts=rows,
+        )
+
+    @classmethod
     def for_pack(cls, count: int, limbs: int, limbs_aug: int) -> "HmvpOpCount":
         """Stage 5-9 counts for packing ``count`` LWE ciphertexts.
 
@@ -129,21 +151,42 @@ def _dot_product_lwes(
     matrix: np.ndarray,
     ct_v: RlweCiphertext,
     ops: HmvpOpCount,
+    row_ntts: Optional[Sequence[NttPlaintext]] = None,
 ) -> List[LweCiphertext]:
-    """Rows -> dot products -> extracted LWEs (pipeline stages 1-4)."""
+    """Rows -> dot products -> extracted LWEs (pipeline stages 1-4).
+
+    With ``row_ntts`` (pre-transformed row encodings, one per matrix
+    row) the per-row forward NTTs are skipped and the ciphertext
+    transform is hoisted out of the loop — the cached stages the
+    batched engine builds on.
+    """
     lwes = []
-    for i in range(matrix.shape[0]):
-        # stages 1-3 (spans NTT / MULTPOLY / INTT inside multiply_plain)
-        pt_row = scheme.encoder.encode_row(np.asarray(matrix[i]))
-        prod = ct_v.multiply_plain(pt_row)
-        # stage 4: drop the special modulus and pull out the LWE sample
-        with obs.span("RESCALE+EXTRACT", row=i):
-            ct_dot = prod.rescale() if prod.is_augmented else prod
-            lwes.append(extract_lwe(ct_dot, 0))
+    if row_ntts is None:
+        for i in range(matrix.shape[0]):
+            # stages 1-3 (spans NTT / MULTPOLY / INTT inside multiply_plain)
+            pt_row = scheme.encoder.encode_row(np.asarray(matrix[i]))
+            prod = ct_v.multiply_plain(pt_row)
+            # stage 4: drop the special modulus and pull out the LWE sample
+            with obs.span("RESCALE+EXTRACT", row=i):
+                ct_dot = prod.rescale() if prod.is_augmented else prod
+                lwes.append(extract_lwe(ct_dot, 0))
+        tally = HmvpOpCount.for_dot_products(
+            matrix.shape[0], matrix.shape[1], len(scheme.ctx.aug_basis)
+        )
+    else:
+        if len(row_ntts) != matrix.shape[0]:
+            raise ValueError("one cached row transform required per row")
+        with obs.span("NTT", limbs=len(ct_v.basis), polys=2, hoisted=True):
+            hoisted = ct_v.ntt_components()
+        for i, row_ntt in enumerate(row_ntts):
+            prod = ct_v.multiply_plain_ntt(row_ntt, comp_ntts=hoisted)
+            with obs.span("RESCALE+EXTRACT", row=i):
+                ct_dot = prod.rescale() if prod.is_augmented else prod
+                lwes.append(extract_lwe(ct_dot, 0))
+        tally = HmvpOpCount.for_cached_dot_products(
+            matrix.shape[0], matrix.shape[1], len(scheme.ctx.aug_basis)
+        )
     obs.inc("core.hmvp.dot_products", matrix.shape[0])
-    tally = HmvpOpCount.for_dot_products(
-        matrix.shape[0], matrix.shape[1], len(scheme.ctx.aug_basis)
-    )
     for name in vars(tally):
         setattr(ops, name, getattr(ops, name) + getattr(tally, name))
     return lwes

@@ -35,6 +35,11 @@ def key_switch_raw(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Key-switch the polynomial ``c`` (normal-basis limb stack ``(L, n)``).
 
+    ``c`` may carry extra batch axes between the limb and coefficient
+    axes — shape ``(L, *batch, n)`` switches every polynomial in the
+    stack through one pass (the key limbs broadcast), which is what the
+    batched PACKLWES kernel relies on.
+
     Returns ``(d0, d1)``: normal-basis limb stacks such that
 
     ``d0 + d1 * s  ≈  c * s_src   (mod Q)``
@@ -44,12 +49,13 @@ def key_switch_raw(
     params = ctx.params
     aug = ctx.aug_basis
     ct_moduli = params.ct_moduli
-    if c.shape != (len(ct_moduli), ctx.n):
+    if c.ndim < 2 or c.shape[0] != len(ct_moduli) or c.shape[-1] != ctx.n:
         raise ValueError(f"expected normal-basis stack, got shape {c.shape}")
-    obs.inc("he.keyswitch.calls")
+    batch = int(np.prod(c.shape[1:-1], dtype=np.int64)) if c.ndim > 2 else 1
+    obs.inc("he.keyswitch.calls", batch)
 
-    acc0 = np.zeros((len(aug), ctx.n), dtype=np.uint64)
-    acc1 = np.zeros((len(aug), ctx.n), dtype=np.uint64)
+    acc0 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
+    acc1 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
     for i, qi in enumerate(ct_moduli):
         digit = c[i]  # the i-th RNS digit, an integer in [0, q_i)
         # broadcast the digit into every augmented limb (it is word-sized,

@@ -60,25 +60,24 @@ def _bits_for(q: int) -> int:
 
 
 def pack_limbs(limbs: np.ndarray, moduli: Tuple[int, ...]) -> bytes:
-    """Bit-pack each limb at its modulus width."""
+    """Bit-pack each limb at its modulus width.
+
+    Wire layout per limb: a little-endian bitstream where coefficient
+    ``j`` occupies bits ``[j*bits, (j+1)*bits)``, zero-padded up to a
+    byte boundary.  Vectorized with :func:`numpy.packbits` — the previous
+    per-coefficient Python big-int loop was O(n²) bit work on the path
+    every serialized ciphertext takes.
+    """
     limbs = np.asarray(limbs, dtype=np.uint64)
-    out = bytearray()
+    out = []
     for i, q in enumerate(moduli):
         bits = _bits_for(q)
-        acc = 0
-        acc_bits = 0
-        chunk = bytearray()
-        for v in limbs[i]:
-            acc |= int(v) << acc_bits
-            acc_bits += bits
-            while acc_bits >= 8:
-                chunk.append(acc & 0xFF)
-                acc >>= 8
-                acc_bits -= 8
-        if acc_bits:
-            chunk.append(acc & 0xFF)
-        out += chunk
-    return bytes(out)
+        vals = np.ascontiguousarray(limbs[i])
+        # (n, bits) matrix of LSB-first bits, then one little-endian packbits
+        shifts = np.arange(bits, dtype=np.uint64)
+        bitmat = ((vals[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        out.append(np.packbits(bitmat.reshape(-1), bitorder="little").tobytes())
+    return b"".join(out)
 
 
 def unpack_limbs(
@@ -93,10 +92,13 @@ def unpack_limbs(
         chunk = data[offset : offset + total_bytes]
         if len(chunk) != total_bytes:
             raise ValueError("truncated limb data")
-        acc = int.from_bytes(chunk, "little")
-        mask = (1 << bits) - 1
-        for j in range(n):
-            limbs[i, j] = (acc >> (j * bits)) & mask
+        raw = np.frombuffer(chunk, dtype=np.uint8)
+        bitmat = np.unpackbits(raw, bitorder="little")[: bits * n]
+        weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+        # each row sums to the original value exactly (bits <= 63)
+        limbs[i] = (bitmat.reshape(n, bits).astype(np.uint64) * weights).sum(
+            axis=1
+        )
         offset += total_bytes
     return limbs, offset
 

@@ -81,7 +81,12 @@ class JobState(Enum):
 
 @dataclass
 class Job:
-    """One offloaded HMVP job."""
+    """One offloaded HMVP job.
+
+    ``batch_id`` tags jobs that arrived as one drained batch (see
+    :class:`repro.core.batch.BatchQueue`), so the scheduler can report
+    when an *entire batch* retires, not just individual jobs.
+    """
 
     job_id: int
     rows: int
@@ -89,6 +94,7 @@ class Job:
     state: JobState = JobState.QUEUED
     cycles: int = 0
     retries: int = 0
+    batch_id: Optional[int] = None
 
 
 @dataclass
@@ -280,6 +286,8 @@ class QueueReport:
     completions: Dict[int, int]  # job_id -> completion cycle
     makespan: int
     per_engine_busy: List[int]
+    #: batch_id -> cycle at which the batch's *last* job completed
+    batch_completions: Dict[int, int] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
@@ -312,14 +320,20 @@ class JobScheduler:
         costed.sort(key=lambda item: -item[0])  # longest first
         engines = [0] * self.cfg.engines
         completions: Dict[int, int] = {}
+        batch_completions: Dict[int, int] = {}
         for cycles, job in costed:
             idx = min(range(len(engines)), key=lambda i: engines[i])
             engines[idx] += cycles
             completions[job.job_id] = engines[idx]
+            if job.batch_id is not None:
+                batch_completions[job.batch_id] = max(
+                    batch_completions.get(job.batch_id, 0), engines[idx]
+                )
             job.cycles = cycles
             job.state = JobState.DONE
         return QueueReport(
             completions=completions,
             makespan=max(engines) if engines else 0,
             per_engine_busy=engines,
+            batch_completions=batch_completions,
         )

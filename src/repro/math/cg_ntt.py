@@ -33,7 +33,7 @@ from typing import List
 import numpy as np
 
 from .modular import modadd_vec, modinv, modmul_vec, modsub_vec
-from .ntt import _tables  # merged twiddle tables shared with the gold model
+from .ntt import _tables, freeze_array  # twiddle tables shared with the gold model
 
 __all__ = [
     "CgSchedule",
@@ -121,9 +121,9 @@ def constant_geometry_schedule(n: int, q: int) -> CgSchedule:
     return CgSchedule(
         n=n,
         q=q,
-        twiddles=twiddles,
-        inv_twiddles=inv_twiddles,
-        output_perm=perm,
+        twiddles=freeze_array(twiddles),
+        inv_twiddles=freeze_array(inv_twiddles),
+        output_perm=freeze_array(perm),
         n_inv=n_inv,
     )
 

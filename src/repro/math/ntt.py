@@ -34,11 +34,23 @@ from .primes import negacyclic_psi
 __all__ = [
     "bit_reverse",
     "bit_reverse_indices",
+    "freeze_array",
     "NegacyclicNtt",
     "ntt",
     "intt",
     "negacyclic_convolution_schoolbook",
 ]
+
+
+def freeze_array(arr: np.ndarray) -> np.ndarray:
+    """Mark a cached table read-only and return it.
+
+    ``lru_cache``d functions hand the *same* array object to every
+    caller; without this flag a single in-place mutation would silently
+    corrupt every subsequent transform process-wide.
+    """
+    arr.flags.writeable = False
+    return arr
 
 
 def bit_reverse(x: int, bits: int) -> int:
@@ -56,7 +68,9 @@ def bit_reverse_indices(n: int) -> np.ndarray:
     bits = n.bit_length() - 1
     if 1 << bits != n:
         raise ValueError(f"n={n} is not a power of two")
-    return np.array([bit_reverse(i, bits) for i in range(n)], dtype=np.int64)
+    return freeze_array(
+        np.array([bit_reverse(i, bits) for i in range(n)], dtype=np.int64)
+    )
 
 
 @lru_cache(maxsize=None)
@@ -76,7 +90,7 @@ def _tables(n: int, q: int) -> Tuple[np.ndarray, np.ndarray, int]:
         r = bit_reverse(i, bits)
         psis[i] = pow(psi, r, q)
         inv_psis[i] = pow(psi_inv, r, q)
-    return psis, inv_psis, modinv(n, q)
+    return freeze_array(psis), freeze_array(inv_psis), modinv(n, q)
 
 
 class NegacyclicNtt:

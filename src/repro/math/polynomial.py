@@ -28,7 +28,7 @@ from .modular import (
     modneg_vec,
     modsub_vec,
 )
-from .ntt import NegacyclicNtt
+from .ntt import NegacyclicNtt, freeze_array
 
 __all__ = [
     "RingPoly",
@@ -93,7 +93,7 @@ def automorph_permutation(n: int, k: int) -> "tuple[np.ndarray, np.ndarray]":
     flip = np.empty(n, dtype=bool)
     src[dest] = np.arange(n)
     flip[dest] = neg
-    return src, flip
+    return freeze_array(src), freeze_array(flip)
 
 
 def automorph(coeffs: np.ndarray, k: int, q: int) -> np.ndarray:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from functools import lru_cache
-from typing import List
+from typing import Tuple
 
 __all__ = [
     "is_prime",
@@ -104,8 +104,12 @@ def find_low_hamming_ntt_prime(bits: int, n: int) -> int:
 
 
 @lru_cache(maxsize=None)
-def _factorize(n: int) -> List[int]:
-    """Distinct prime factors of ``n`` by trial division (n is q-1, small)."""
+def _factorize(n: int) -> Tuple[int, ...]:
+    """Distinct prime factors of ``n`` by trial division (n is q-1, small).
+
+    Returns a tuple: the result is cached and shared, so it must be
+    immutable.
+    """
     factors = []
     d = 2
     while d * d <= n:
@@ -116,7 +120,7 @@ def _factorize(n: int) -> List[int]:
         d += 1 if d == 2 else 2
     if n > 1:
         factors.append(n)
-    return factors
+    return tuple(factors)
 
 
 @lru_cache(maxsize=None)

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.batch import BatchedHmvp
+from repro import obs
+from repro.core.batch import (
+    BatchedHmvp,
+    BatchQueue,
+    EncodedMatrixCache,
+    matrix_fingerprint,
+)
 from repro.core.hmvp import hmvp
 
 
@@ -76,6 +82,153 @@ def test_rejects_bad_inputs(scheme128, rng_module):
 
 def test_shape_property(scheme128, matrix):
     assert BatchedHmvp(scheme128, matrix).shape == (6, 128)
+
+
+# -- encoded-matrix cache -------------------------------------------------------
+
+
+def test_cache_hit_on_identical_matrix(scheme128, matrix):
+    cache = EncodedMatrixCache()
+    a = BatchedHmvp(scheme128, matrix, cache=cache)
+    b = BatchedHmvp(scheme128, np.array(matrix), cache=cache)
+    assert cache.misses == 1 and cache.hits == 1
+    # the hit serves the very same NTT-domain tiles, no re-encode
+    assert a.encoded is b.encoded
+
+
+def test_cache_miss_on_mutated_matrix(scheme128, matrix, rng_module):
+    """Content fingerprinting: a mutated matrix must never be served
+    stale NTT-domain rows from the cache."""
+    cache = EncodedMatrixCache()
+    BatchedHmvp(scheme128, matrix, cache=cache)
+    mutated = np.array(matrix)
+    mutated[0, 0] += 1
+    engine = BatchedHmvp(scheme128, mutated, cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+    # and the fresh encoding computes the *mutated* product exactly
+    v = rng_module.integers(-40, 40, 128)
+    got = engine.multiply_one(scheme128.encrypt_vector(v)).decrypt(scheme128)
+    assert np.array_equal(got, mutated.astype(object) @ v.astype(object))
+
+
+def test_cache_counters_reported(scheme128, matrix):
+    reg = obs.enable_metrics()
+    try:
+        cache = EncodedMatrixCache()
+        BatchedHmvp(scheme128, matrix, cache=cache)
+        BatchedHmvp(scheme128, matrix, cache=cache)
+        snap = reg.snapshot()
+        assert snap["counters"]["batch.cache.miss"] == 1
+        assert snap["counters"]["batch.cache.hit"] == 1
+    finally:
+        obs.disable_metrics()
+        obs.REGISTRY.reset()
+
+
+def test_cache_lru_eviction(scheme128, rng_module):
+    cache = EncodedMatrixCache(capacity=1)
+    m1 = rng_module.integers(-5, 5, (2, 128))
+    m2 = rng_module.integers(-5, 5, (2, 128))
+    BatchedHmvp(scheme128, m1, cache=cache)
+    BatchedHmvp(scheme128, m2, cache=cache)  # evicts m1
+    BatchedHmvp(scheme128, m1, cache=cache)  # re-encode
+    assert cache.misses == 3 and cache.hits == 0
+    assert len(cache) == 1
+    with pytest.raises(ValueError):
+        EncodedMatrixCache(capacity=0)
+
+
+def test_fingerprint_depends_on_params_and_content(scheme128, matrix):
+    base = matrix_fingerprint(matrix, scheme128.params)
+    assert base == matrix_fingerprint(np.array(matrix), scheme128.params)
+    mutated = np.array(matrix)
+    mutated[0, 0] += 1
+    assert matrix_fingerprint(mutated, scheme128.params) != base
+    assert matrix_fingerprint(matrix, scheme128.params, tile_rows=4) != base
+
+
+def test_encoded_tiles_are_frozen(scheme128, matrix):
+    engine = BatchedHmvp(scheme128, matrix, cache=EncodedMatrixCache())
+    tile = engine.encoded.tiles[(0, 0)]
+    with pytest.raises(ValueError):
+        tile[0, 0, 0] = 1
+
+
+# -- worker pool and request queue ---------------------------------------------
+
+
+def test_multiply_batch_with_workers(scheme128, matrix, rng_module):
+    """The thread-pool fan-out returns the same ciphertext results in
+    request order."""
+    batched = BatchedHmvp(scheme128, matrix)
+    vs = [rng_module.integers(-40, 40, 128) for _ in range(4)]
+    cts = [scheme128.encrypt_vector(v) for v in vs]
+    serial = batched.multiply_batch(cts, workers=1)
+    pooled = batched.multiply_batch(cts, workers=4)
+    for s, p, v in zip(serial, pooled, vs):
+        assert np.array_equal(s.packs[0].ct.c0, p.packs[0].ct.c0)
+        assert np.array_equal(s.packs[0].ct.c1, p.packs[0].ct.c1)
+        assert np.array_equal(
+            p.decrypt(scheme128), matrix.astype(object) @ v.astype(object)
+        )
+
+
+def test_batch_queue_submit_drain(scheme128, matrix, rng_module):
+    reg = obs.enable_metrics()
+    try:
+        queue = BatchQueue(BatchedHmvp(scheme128, matrix), workers=2)
+        vs = [rng_module.integers(-40, 40, 128) for _ in range(3)]
+        ids = [queue.submit(scheme128.encrypt_vector(v)) for v in vs]
+        assert ids == [0, 1, 2]
+        assert queue.depth == 3
+        assert reg.snapshot()["gauges"]["batch.queue.depth"] == 3
+        report = queue.drain()
+        assert queue.depth == 0
+        assert reg.snapshot()["gauges"]["batch.queue.depth"] == 0
+        assert report.request_ids == ids
+        for res, v in zip(report.results, vs):
+            assert np.array_equal(
+                res.decrypt(scheme128),
+                matrix.astype(object) @ v.astype(object),
+            )
+        # the drain was priced as one batch on the simulated engines
+        assert report.schedule.makespan > 0
+        assert set(report.schedule.batch_completions) == {0}
+        assert (
+            report.schedule.batch_completions[0] == report.schedule.makespan
+        )
+    finally:
+        obs.disable_metrics()
+        obs.REGISTRY.reset()
+
+
+def test_batch_queue_empty_drain(scheme128, matrix):
+    queue = BatchQueue(BatchedHmvp(scheme128, matrix))
+    report = queue.drain()
+    assert report.request_ids == [] and report.results == []
+    assert report.schedule.makespan == 0
+
+
+def test_batch_queue_rejects_non_augmented(scheme128, matrix):
+    queue = BatchQueue(BatchedHmvp(scheme128, matrix))
+    with pytest.raises(ValueError, match="augmented"):
+        queue.submit(scheme128.encrypt_vector([1], augmented=False))
+
+
+def test_scheduler_batch_completions_tag():
+    from repro.hw.runtime import Job, JobScheduler
+
+    sched = JobScheduler()
+    jobs = [
+        Job(job_id=0, rows=16, batch_id=7),
+        Job(job_id=1, rows=32, batch_id=7),
+        Job(job_id=2, rows=8),  # untagged: never in batch_completions
+    ]
+    report = sched.schedule(jobs)
+    assert set(report.batch_completions) == {7}
+    assert report.batch_completions[7] == max(
+        report.completions[0], report.completions[1]
+    )
 
 
 # -- encrypted matrix-matrix products ------------------------------------------

@@ -283,3 +283,76 @@ def test_pipeline_and_runtime_instrumentation():
     assert snap["counters"]["hw.pipeline.reductions"] > 255
     assert snap["gauges"]["hw.runtime.jobs_completed"] == 1
     assert snap["gauges"]["hw.runtime.healthy"] == 1.0
+
+
+# -- thread-safety under worker pools ------------------------------------------
+
+
+def test_registry_concurrent_increments_are_exact():
+    """N workers hammering one counter must lose no increments."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    reg = MetricsRegistry()
+
+    def work(_):
+        for _ in range(500):
+            reg.inc("c")
+            reg.observe("h", 1.0)
+        return True
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        assert all(pool.map(work, range(8)))
+    assert reg.counter("c").value == 8 * 500
+    assert reg.histogram("h").count == 8 * 500
+
+
+def test_tracer_concurrent_spans_keep_thread_nesting():
+    """Each worker's spans nest within its own track; none are lost."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    tracer = Tracer(enabled=True)
+
+    def work(i):
+        with tracer.span("outer", worker=i):
+            with tracer.span("inner", worker=i):
+                pass
+        return True
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        assert all(pool.map(work, range(12)))
+    outers = [s for s in tracer.spans if s.name == "outer"]
+    inners = [s for s in tracer.spans if s.name == "inner"]
+    assert len(outers) == 12 and len(inners) == 12
+    for s in inners:
+        assert s.depth == 1  # nested under that thread's outer, not another's
+
+
+def test_batched_engine_counters_exact_under_pool():
+    """The batched HMVP worker pool reports the same counter totals as a
+    serial run (per-request work is identical, just interleaved)."""
+    import numpy as np
+
+    from repro.core.batch import BatchedHmvp, EncodedMatrixCache
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+
+    scheme = BfvScheme(toy_params(n=64, plain_bits=30), seed=5, max_pack=4)
+    rng = np.random.default_rng(5)
+    matrix = rng.integers(-8, 8, (4, 64))
+    engine = BatchedHmvp(scheme, matrix, cache=EncodedMatrixCache())
+    cts = [scheme.encrypt_vector(rng.integers(-8, 8, 64)) for _ in range(6)]
+
+    def run(workers):
+        reg = obs.enable_metrics()
+        try:
+            engine.multiply_batch(cts, workers=workers)
+            return reg.snapshot()["counters"]
+        finally:
+            obs.disable_metrics()
+            obs.REGISTRY.reset()
+
+    serial = run(1)
+    pooled = run(4)
+    assert pooled == serial
+    assert pooled["batch.requests"] == 6
+    assert pooled["he.pack.calls"] == 6

@@ -6,7 +6,12 @@ import pytest
 from repro.he.encoder import CoefficientEncoder
 from repro.he.lwe import extract_lwe
 from repro.he.noise import invariant_noise_budget, packed_slot_positions
-from repro.he.packing import pack_lwes, pack_reduction_count, pack_two_lwes
+from repro.he.packing import (
+    pack_lwes,
+    pack_lwes_batched,
+    pack_reduction_count,
+    pack_two_lwes,
+)
 from repro.he.rlwe import encrypt
 
 
@@ -123,3 +128,74 @@ def test_pack_zero_padding_is_exact(ctx128, sk128, galois128, enc, rng):
 def test_pack_reduction_count_validation():
     with pytest.raises(ValueError):
         pack_reduction_count(0)
+
+
+# -- batched (vectorized level-order) pack -------------------------------------
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 16])
+def test_batched_pack_bit_identical(ctx128, sk128, galois128, enc, rng, count):
+    """pack_lwes_batched must reproduce the recursive pack byte-for-byte:
+    same merge tree, same slot order, same noise."""
+    values = [int(v) for v in rng.integers(-1000, 1000, count)]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    ref = pack_lwes(lwes, galois128)
+    got = pack_lwes_batched(lwes, galois128)
+    assert np.array_equal(got.ct.c0, ref.ct.c0)
+    assert np.array_equal(got.ct.c1, ref.ct.c1)
+    assert got.count == ref.count
+    assert got.scale_pow2 == ref.scale_pow2
+    assert got.reductions == ref.reductions == pack_reduction_count(count)
+
+
+@pytest.mark.parametrize("count", [1, 3, 5, 16])
+def test_batched_pack_decodes(ctx128, sk128, galois128, enc, rng, count):
+    """Edge-case audit: m = 1 (no merge), non-power-of-two remainders
+    (m = 3, 5, as left by a 4096-row matrix tiled into 128-row packs),
+    and a full power of two all decode with the stride/scale implied by
+    pack_reduction_count's level count."""
+    values = [int(v) for v in rng.integers(-1000, 1000, count)]
+    lwes = make_lwes(ctx128, sk128, enc, values, rng)
+    packed = pack_lwes_batched(lwes, galois128)
+    levels = max(count - 1, 0).bit_length()
+    assert packed.scale_pow2 == levels
+    assert packed.slot_stride == 128 >> levels
+    from repro.he.rlwe import decrypt
+
+    pt = decrypt(ctx128, sk128, packed.ct)
+    got = enc.decode_packed(pt, count, packed.scale_pow2)
+    assert [int(x) for x in got] == values
+
+
+def test_batched_pack_empty_raises(galois128):
+    with pytest.raises(ValueError):
+        pack_lwes_batched([], galois128)
+
+
+def test_batched_pack_too_many_raises(ctx128, sk128, galois128, enc, rng):
+    lwes = make_lwes(ctx128, sk128, enc, [0], rng) * 129
+    with pytest.raises(ValueError, match="ring degree"):
+        pack_lwes_batched(lwes, galois128)
+
+
+def test_batched_keyswitch_matches_sequential(ctx128, sk128, galois128, rng):
+    """key_switch_raw over a (L, batch, n) stack equals per-poly calls."""
+    from repro.he.keyswitch import key_switch_raw
+
+    g = next(iter(galois128.keys))
+    ksk = galois128[g]
+    basis = ctx128.ct_basis
+    stack = np.stack(
+        [
+            np.stack(
+                [rng.integers(0, q, 128, dtype=np.uint64) for q in basis]
+            )
+            for _ in range(4)
+        ],
+        axis=1,
+    )  # (L, 4, n)
+    d0_b, d1_b = key_switch_raw(ctx128, stack, ksk)
+    for j in range(4):
+        d0, d1 = key_switch_raw(ctx128, stack[:, j], ksk)
+        assert np.array_equal(d0_b[:, j], d0)
+        assert np.array_equal(d1_b[:, j], d1)

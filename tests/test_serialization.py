@@ -199,6 +199,84 @@ def test_galois_keyset_bad_blob(ctx128):
         deserialize_galois_keyset(b"XXXX" + b"\0" * 12, ctx128)
 
 
+def _reference_pack_limbs(limbs, moduli):
+    """Pre-vectorization pack_limbs (per-coefficient big-int loop).
+
+    Kept as the wire-format oracle: the NumPy implementation must produce
+    byte-identical output for every modulus width.
+    """
+    limbs = np.asarray(limbs, dtype=np.uint64)
+    out = bytearray()
+    for i, q in enumerate(moduli):
+        bits = (q - 1).bit_length()
+        acc = 0
+        acc_bits = 0
+        chunk = bytearray()
+        for v in limbs[i]:
+            acc |= int(v) << acc_bits
+            acc_bits += bits
+            while acc_bits >= 8:
+                chunk.append(acc & 0xFF)
+                acc >>= 8
+                acc_bits -= 8
+        if acc_bits:
+            chunk.append(acc & 0xFF)
+        out += chunk
+    return bytes(out)
+
+
+def _reference_unpack_limbs(data, moduli, n):
+    """Pre-vectorization unpack_limbs (per-coefficient big-int loop)."""
+    limbs = np.empty((len(moduli), n), dtype=np.uint64)
+    offset = 0
+    for i, q in enumerate(moduli):
+        bits = (q - 1).bit_length()
+        total_bytes = (bits * n + 7) // 8
+        acc = int.from_bytes(data[offset : offset + total_bytes], "little")
+        mask = (1 << bits) - 1
+        for j in range(n):
+            limbs[i, j] = (acc >> (j * bits)) & mask
+        offset += total_bytes
+    return limbs, offset
+
+
+def test_pack_limbs_matches_reference_bytes(rng):
+    """Vectorized packing is byte-identical to the original loop, including
+    the odd-width 35-bit (q0/q1) and 39-bit (p) CHAM moduli."""
+    from repro.math.primes import CHAM_P, CHAM_Q0, CHAM_Q1, find_ntt_prime
+
+    widths = [
+        (CHAM_Q0, CHAM_Q1, CHAM_P),  # 35/35/39-bit production moduli
+        (find_ntt_prime(17, 8),),  # small odd width
+        (find_ntt_prime(20, 8), find_ntt_prime(33, 8)),
+        ((1 << 24) + 1,),  # byte-aligned width for contrast
+    ]
+    for moduli in widths:
+        for n in (1, 7, 8, 64):
+            limbs = np.stack(
+                [rng.integers(0, q, n, dtype=np.uint64) for q in moduli]
+            )
+            data = pack_limbs(limbs, moduli)
+            assert data == _reference_pack_limbs(limbs, moduli), moduli
+            back, used = unpack_limbs(data, moduli, n)
+            ref_back, ref_used = _reference_unpack_limbs(data, moduli, n)
+            assert used == ref_used == len(data)
+            assert np.array_equal(back, limbs)
+            assert np.array_equal(back, ref_back)
+
+
+def test_pack_limbs_extreme_values():
+    """All-zero and all-max coefficients hit every bit lane."""
+    q = 2**34 + 2**27 + 1  # CHAM_Q0, 35 bits
+    n = 16
+    for fill in (0, q - 1):
+        limbs = np.full((1, n), fill, dtype=np.uint64)
+        data = pack_limbs(limbs, (q,))
+        assert data == _reference_pack_limbs(limbs, (q,))
+        back, _ = unpack_limbs(data, (q,), n)
+        assert np.array_equal(back, limbs)
+
+
 def test_pack_roundtrip_property():
     """Hypothesis: arbitrary limb contents survive bit-packing at any
     modulus width in the supported range."""
