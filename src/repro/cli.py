@@ -20,7 +20,11 @@ Gives a downstream user the zero-code tour:
 ``batch``
     serve a batch of encrypted vectors against one matrix through the
     matrix-resident batched engine (encoded-matrix cache, hoisted NTTs,
-    one pack per request) and print cache / queue / scheduler metrics.
+    one pack per request) and print cache / queue / scheduler metrics;
+``serve``
+    load-generate against the async fault-tolerant serving front-end
+    (multi-engine dispatch, deadlines, retry + backoff, CPU degrade)
+    and print per-status counts, latency percentiles and goodput.
 
 ``demo``, ``trace`` and ``report`` additionally accept
 ``--trace-out FILE`` to dump a Chrome-trace-format span file, loadable
@@ -315,6 +319,91 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Load-generate against the async serving layer and report.
+
+    The acceptance shape: every submitted request reaches a terminal
+    outcome (served on the accelerator, retried, or degraded to CPU —
+    zero dropped), all completed results decrypt to the exact ``A @ v``,
+    and the JSON dump carries latency percentiles plus simulated
+    goodput for the chosen engine count.
+    """
+    from repro import obs
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+    from repro.serve import ServeConfig, serve_requests
+
+    reg = obs.enable_metrics()
+    params = toy_params(n=128, plain_bits=40)
+    scheme = BfvScheme(params, seed=args.seed, max_pack=args.rows)
+    rng = np.random.default_rng(args.seed)
+    matrix = rng.integers(-40, 40, (args.rows, params.n))
+    vectors = [rng.integers(-40, 40, params.n) for _ in range(args.requests)]
+    cts = [scheme.encrypt_vector(v) for v in vectors]
+    config = ServeConfig(
+        engines=args.engines,
+        max_batch=args.batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=max(args.capacity, args.requests),
+        fault_rate=args.fault_rate,
+        register_flip_rate=args.register_flip_rate,
+        max_retries=args.max_retries,
+        seed=args.seed,
+    )
+    report = serve_requests(scheme, matrix, cts, config)
+    correct = all(
+        np.array_equal(
+            o.result.decrypt(scheme),
+            matrix.astype(object) @ vectors[o.request_id].astype(object),
+        )
+        for o in report.outcomes
+        if o.completed
+    )
+    ok = (
+        correct
+        and report.dropped == 0
+        and report.completed == report.submitted
+    )
+    if args.json:
+        payload = report.to_dict()
+        payload["correct"] = correct
+        snap = reg.snapshot()
+        payload["counters"] = {
+            k: v for k, v in snap["counters"].items()
+            if k.startswith(("serve.", "batch.cache.", "hw.runtime."))
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    print(
+        f"serve  : {report.submitted} requests x ({args.rows}x{params.n}) "
+        f"matrix, {args.engines} engine(s), fault rate {args.fault_rate}"
+    )
+    print(
+        f"status : ok={report.ok} degraded={report.degraded} "
+        f"rejected={report.rejected} deadline={report.deadline_expired} "
+        f"dropped={report.dropped} retries={report.retries} "
+        f"correct={correct}"
+    )
+    print(
+        f"latency: p50 {report.latency_ms(50):.1f} ms, "
+        f"p95 {report.latency_ms(95):.1f} ms, "
+        f"p99 {report.latency_ms(99):.1f} ms "
+        f"({report.goodput_rps:,.1f} req/s wall)"
+    )
+    print(
+        f"sim    : makespan {report.makespan_cycles:,} cycles, "
+        f"goodput {report.goodput_sim_rps:,.0f} req/s on the device clock, "
+        f"per-engine busy {report.per_engine_busy_cycles}"
+    )
+    for i, h in enumerate(report.engine_health):
+        print(
+            f"engine{i}: jobs={h.jobs_completed} failed_attempts="
+            f"{h.jobs_failed} retries={h.job_retries} hangs="
+            f"{h.hangs_detected} resets={h.resets}"
+        )
+    return 0 if ok else 1
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     from repro.hw.dse import enumerate_design_space, pareto_front
 
@@ -400,6 +489,26 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", action="store_true",
                        help="dump results + metrics snapshot as JSON")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="async fault-tolerant serving load generator"
+    )
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--engines", type=int, default=2)
+    serve.add_argument("--rows", type=int, default=8)
+    serve.add_argument("--batch", type=int, default=8,
+                       help="micro-batch drain threshold (max_batch)")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0)
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="admission bound (raised to --requests)")
+    serve.add_argument("--fault-rate", type=float, default=0.0,
+                       help="device hang probability per job execution")
+    serve.add_argument("--register-flip-rate", type=float, default=0.0)
+    serve.add_argument("--max-retries", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", action="store_true",
+                       help="dump the serve report + counters as JSON")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -35,7 +35,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -480,6 +480,31 @@ class BatchedHmvp:
             )
         return results
 
+    def make_jobs(
+        self,
+        request_ids: Sequence[int],
+        batch_id: Optional[int] = None,
+    ) -> List[Job]:
+        """Simulator jobs for a batch: one per ``(request, row tile)``.
+
+        The engine-worker API shared by :class:`BatchQueue` and the
+        serving layer (:mod:`repro.serve`): every consumer prices a
+        drained batch with identical job shapes, so scheduler reports
+        and RAS accounting are comparable across entry points.
+        """
+        jobs = []
+        for rid in request_ids:
+            for rt in range(self.encoded.row_tiles):
+                jobs.append(
+                    Job(
+                        job_id=rid * self.encoded.row_tiles + rt,
+                        rows=self.encoded.row_tile_rows(rt),
+                        col_tiles=self.encoded.col_tiles,
+                        batch_id=batch_id,
+                    )
+                )
+        return jobs
+
     def amortized_op_count(self, batch: int) -> HmvpOpCount:
         """Total ops for a batch, including the one-time encode."""
         total = HmvpOpCount()
@@ -516,10 +541,14 @@ class BatchQueue:
         engine: BatchedHmvp,
         scheduler: Optional[JobScheduler] = None,
         workers: Optional[int] = None,
+        on_drain: Optional[Callable[["BatchDrainReport"], None]] = None,
     ) -> None:
         self.engine = engine
         self.scheduler = scheduler or JobScheduler()
         self.workers = workers
+        #: called with each non-empty drain's report (metrics export,
+        #: serving-layer completion hooks)
+        self.on_drain = on_drain
         self._pending: List[Tuple[int, RlweCiphertext]] = []
         self._next_request = 0
         self._next_batch = 0
@@ -539,10 +568,19 @@ class BatchQueue:
         obs.set_gauge("batch.queue.depth", len(self._pending))
         return request_id
 
-    def drain(self) -> BatchDrainReport:
-        """Serve every pending request as one batch."""
-        pending, self._pending = self._pending, []
-        obs.set_gauge("batch.queue.depth", 0)
+    def drain(self, max_requests: Optional[int] = None) -> BatchDrainReport:
+        """Serve pending requests as one batch.
+
+        ``max_requests`` caps the drained batch (FIFO prefix) — the
+        micro-batching building block the serving layer's adaptive
+        ``max_batch`` policy rides on; ``None`` drains everything.
+        """
+        if max_requests is not None and max_requests < len(self._pending):
+            pending = self._pending[:max_requests]
+            self._pending = self._pending[max_requests:]
+        else:
+            pending, self._pending = self._pending, []
+        obs.set_gauge("batch.queue.depth", len(self._pending))
         batch_id = self._next_batch
         self._next_batch += 1
         if not pending:
@@ -557,23 +595,17 @@ class BatchQueue:
             results = self.engine.multiply_batch(
                 [ct for _rid, ct in pending], workers=self.workers
             )
-            jobs = []
-            encoded = self.engine.encoded
-            for rid, _ct in pending:
-                for rt in range(encoded.row_tiles):
-                    jobs.append(
-                        Job(
-                            job_id=rid * encoded.row_tiles + rt,
-                            rows=encoded.row_tile_rows(rt),
-                            col_tiles=encoded.col_tiles,
-                            batch_id=batch_id,
-                        )
-                    )
+            jobs = self.engine.make_jobs(
+                [rid for rid, _ct in pending], batch_id=batch_id
+            )
             schedule = self.scheduler.schedule(jobs)
         obs.observe("batch.drain.requests", len(pending))
         obs.observe("batch.drain.makespan_cycles", schedule.makespan)
-        return BatchDrainReport(
+        report = BatchDrainReport(
             request_ids=[rid for rid, _ct in pending],
             results=results,
             schedule=schedule,
         )
+        if self.on_drain is not None:
+            self.on_drain(report)
+        return report

@@ -19,10 +19,11 @@ asserts recovery.
 
 from __future__ import annotations
 
+import asyncio
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -61,14 +62,20 @@ class FaultInjector:
     #: device recovers after this many resets (simulates transient hangs)
     resets_to_recover: int = 1
     seed: int = 0
+    #: scripted hang outcomes consumed *before* the probabilistic draw —
+    #: lets tests stage exact fault sequences ("hang twice, then run")
+    hang_script: Optional[Sequence[bool]] = None
 
     def __post_init__(self) -> None:
         self.rng = np.random.default_rng(self.seed)
+        self._hang_script = list(self.hang_script or [])
 
     def corrupt_register(self) -> bool:
         return self.rng.random() < self.register_flip_prob
 
     def hang(self) -> bool:
+        if self._hang_script:
+            return bool(self._hang_script.pop(0))
         return self.rng.random() < self.hang_prob
 
 
@@ -108,6 +115,8 @@ class HealthReport:
     resets: int
     busy_cycles: int
     temperature_c: float
+    #: total per-job execution retries across the runtime's lifetime
+    job_retries: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -128,6 +137,7 @@ class HealthReport:
             "resets",
             "busy_cycles",
             "temperature_c",
+            "job_retries",
         ):
             reg.set_gauge(f"hw.runtime.{name}", getattr(self, name))
         reg.set_gauge("hw.runtime.healthy", float(self.healthy))
@@ -201,6 +211,7 @@ class FpgaRuntime:
         self.resets = 0
         self.jobs_failed = 0
         self.busy_cycles = 0
+        self.job_retries = 0
 
     # -- register loading with error handling -----------------------------------
 
@@ -229,27 +240,75 @@ class FpgaRuntime:
         self.jobs[job.job_id] = job
         return job.job_id
 
-    def poll(self, job_id: int) -> JobState:
-        """Drive the job to completion (hang/reset handled transparently)."""
+    def poll_once(self, job_id: int) -> JobState:
+        """One execution attempt; ``RUNNING`` means a retry is pending.
+
+        This is the async-pollable unit the serving layer drives: each
+        call makes exactly one attempt at running the job on the device.
+        A hang triggers one watchdog episode and consumes one unit of
+        the job's retry budget; callers decide when to re-poll (e.g.
+        after an ``await``).  The state machine is total: every call
+        either returns a terminal state (``DONE``/``FAILED``) or leaves
+        the job ``RUNNING`` with ``job.retries`` strictly increased, so
+        at most ``max_job_retries + 1`` calls reach a terminal state.
+        """
         job = self.jobs[job_id]
         if job.state in (JobState.DONE, JobState.FAILED):
             return job.state
         job.state = JobState.RUNNING
+        try:
+            job.cycles = self.device.run_job(job)
+        except DeviceHangError:
+            self.hangs_detected += 1
+            self._watchdog_reset()
+            job.retries += 1
+            self.job_retries += 1
+            obs.inc("hw.runtime.job_retries")
+            # A failed watchdog episode is NOT a failed job: the device
+            # may need more resets than one episode performs (transient
+            # hang with slow recovery), and the next attempt runs a new
+            # episode.  Only an exhausted retry budget fails the job —
+            # previously `not recovered` failed it immediately, stranding
+            # recoverable jobs and leaving a hung device to fault every
+            # subsequent submission.
+            if job.retries > self.max_job_retries:
+                job.state = JobState.FAILED
+                self.jobs_failed += 1
+            return job.state
+        job.state = JobState.DONE
+        self.busy_cycles += job.cycles
+        self._completed.append(job_id)
+        return job.state
+
+    def poll(self, job_id: int) -> JobState:
+        """Drive the job to completion (hang/reset handled transparently)."""
         while True:
-            try:
-                job.cycles = self.device.run_job(job)
-                job.state = JobState.DONE
-                self.busy_cycles += job.cycles
-                self._completed.append(job_id)
-                return job.state
-            except DeviceHangError:
-                self.hangs_detected += 1
-                recovered = self._watchdog_reset()
-                job.retries += 1
-                if not recovered or job.retries > self.max_job_retries:
-                    job.state = JobState.FAILED
-                    self.jobs_failed += 1
-                    return job.state
+            state = self.poll_once(job_id)
+            if state is not JobState.RUNNING:
+                return state
+
+    async def poll_async(
+        self, job_id: int, retry_delay_s: float = 0.0
+    ) -> JobState:
+        """Asynchronously drive the job to a terminal state.
+
+        Yields to the event loop between execution attempts (sleeping
+        ``retry_delay_s`` after each hang), so a serving front-end can
+        overlap other requests with a device's recovery.  Bounded by the
+        same retry budget as :meth:`poll`: never spins forever.
+        """
+        # defensive bound on top of poll_once's own budget accounting:
+        # even a (hypothetical) state-machine regression that stopped
+        # advancing `retries` could not wedge the event loop
+        for _ in range(self.max_job_retries + 2):
+            state = self.poll_once(job_id)
+            if state is not JobState.RUNNING:
+                return state
+            await asyncio.sleep(retry_delay_s)
+        job = self.jobs[job_id]
+        job.state = JobState.FAILED
+        self.jobs_failed += 1
+        return job.state
 
     def _watchdog_reset(self) -> bool:
         """Reset until the device recovers or gives up (3 attempts)."""
@@ -274,6 +333,7 @@ class FpgaRuntime:
             resets=self.resets,
             busy_cycles=self.busy_cycles,
             temperature_c=temp,
+            job_retries=self.job_retries,
         )
         report.record_metrics()
         return report
@@ -288,6 +348,8 @@ class QueueReport:
     per_engine_busy: List[int]
     #: batch_id -> cycle at which the batch's *last* job completed
     batch_completions: Dict[int, int] = field(default_factory=dict)
+    #: total execution retries across the scheduled jobs (RAS accounting)
+    retries: int = 0
 
     @property
     def utilization(self) -> float:
@@ -336,4 +398,5 @@ class JobScheduler:
             makespan=max(engines) if engines else 0,
             per_engine_busy=engines,
             batch_completions=batch_completions,
+            retries=sum(job.retries for job in jobs),
         )

@@ -78,9 +78,17 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary statistics (no reservoir: O(1) memory)."""
+    """Streaming summary statistics plus a bounded quantile reservoir.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    The count/sum/min/max summary is exact and O(1); percentiles come
+    from a capped reservoir of the first :data:`RESERVOIR_CAP`
+    observations (serving-latency populations are far below the cap in
+    practice, so the quantiles are exact there too).
+    """
+
+    RESERVOIR_CAP = 65536
+
+    __slots__ = ("name", "count", "total", "min", "max", "_values", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -88,6 +96,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._values: list = []
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -98,10 +107,23 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if len(self._values) < self.RESERVOIR_CAP:
+                self._values.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the reservoir (``0 < p <= 100``)."""
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return 0.0
+        rank = max(1, -(-int(p * len(values)) // 100))  # ceil(p*n/100)
+        return values[min(rank, len(values)) - 1]
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,87 @@
+"""Differential HMVP test (ISSUE 3): three implementations, one answer.
+
+For randomized shapes — non-power-of-two row counts and the single-row
+edge case included — the batched engine
+(:meth:`repro.core.batch.BatchedHmvp.multiply_batch`), the scalar
+Algorithm-1 path (:func:`repro.core.hmvp.hmvp`) and the plaintext
+oracle ``A @ v (mod t, centered)`` must agree exactly.  Any divergence
+localizes the bug: batch != scalar is the caching/fan-out layer,
+scalar != oracle is the HE pipeline itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchedHmvp
+from repro.core.hmvp import hmvp
+
+#: (rows, number of vectors) — non-power-of-two and single-row on purpose
+SHAPES = [(1, 2), (3, 1), (5, 3), (7, 2), (8, 2), (13, 1)]
+
+
+def _centered_mod(values, t):
+    """Reduce exact integers into the centered residue system mod t."""
+    half = t // 2
+    return [((int(v) + half) % t) - half for v in values]
+
+
+def _oracle(matrix, vector, t):
+    exact = matrix.astype(object) @ vector.astype(object)
+    return _centered_mod(exact, t)
+
+
+@pytest.mark.parametrize("rows,count", SHAPES)
+def test_batch_vs_scalar_vs_plain(scheme128, rows, count):
+    rng = np.random.default_rng(0xD1FF + rows * 31 + count)
+    cols = scheme128.params.n
+    t = scheme128.params.plain_modulus
+    matrix = rng.integers(-200, 200, (rows, cols))
+    vectors = [rng.integers(-200, 200, cols) for _ in range(count)]
+    cts = [scheme128.encrypt_vector(v) for v in vectors]
+
+    engine = BatchedHmvp(scheme128, matrix)
+    batched = engine.multiply_batch(cts)
+    assert len(batched) == count
+    for i, (vector, ct) in enumerate(zip(vectors, cts)):
+        want = _oracle(matrix, vector, t)
+        got_batch = batched[i].decrypt(scheme128)[:rows]
+        got_scalar = hmvp(scheme128, matrix, ct).decrypt(scheme128)[:rows]
+        assert _centered_mod(got_batch, t) == want, f"batch path, vec {i}"
+        assert _centered_mod(got_scalar, t) == want, f"scalar path, vec {i}"
+
+
+def test_agreement_with_plaintext_wraparound(scheme128):
+    """Entries large enough that some dot products exceed t/2: all three
+    implementations must wrap identically (centered residues)."""
+    rng = np.random.default_rng(0xD1FF_FFFF)
+    cols = scheme128.params.n
+    t = scheme128.params.plain_modulus
+    bound = int(np.sqrt(t // cols)) * 4  # pushes some sums past t/2
+    matrix = rng.integers(-bound, bound, (4, cols))
+    vector = rng.integers(-bound, bound, cols)
+    ct = scheme128.encrypt_vector(vector)
+
+    want = _oracle(matrix, vector, t)
+    engine = BatchedHmvp(scheme128, matrix)
+    got_batch = engine.multiply_batch([ct])[0].decrypt(scheme128)[:4]
+    got_scalar = hmvp(scheme128, matrix, ct).decrypt(scheme128)[:4]
+    assert _centered_mod(got_batch, t) == want
+    assert _centered_mod(got_scalar, t) == want
+
+
+def test_batch_is_order_independent(scheme128):
+    """Reversing the batch order permutes the outputs, nothing else —
+    requests are independent (no cross-request state)."""
+    rng = np.random.default_rng(0xD1FF_0123)
+    cols = scheme128.params.n
+    matrix = rng.integers(-50, 50, (5, cols))
+    vectors = [rng.integers(-50, 50, cols) for _ in range(3)]
+    cts = [scheme128.encrypt_vector(v) for v in vectors]
+
+    engine = BatchedHmvp(scheme128, matrix)
+    fwd = [r.decrypt(scheme128)[:5].tolist() for r in engine.multiply_batch(cts)]
+    rev = [
+        r.decrypt(scheme128)[:5].tolist()
+        for r in engine.multiply_batch(list(reversed(cts)))
+    ]
+    assert fwd == list(reversed(rev))

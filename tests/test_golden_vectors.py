@@ -1,0 +1,138 @@
+"""Golden-vector regression for the HMVP pipeline (ISSUE 3).
+
+``tests/vectors/hmvp_golden.json`` freezes one pinned-seed end-to-end
+run: scheme seed, matrix, vector, the expected decrypted dot products,
+and per-limb SHA-256 digests of the bit-packed ciphertext limbs (the
+encrypted input and the packed result).  The replay test regenerates
+the run from the stored seeds and compares everything — any drift in
+key generation, encryption randomness, the NTT/pack pipeline, or the
+wire format shows up as a digest mismatch here before it shows up as a
+silent protocol break.
+
+Regenerate (after an *intentional* format change) with::
+
+    PYTHONPATH=src python tests/test_golden_vectors.py --regen
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hmvp import hmvp
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+from repro.he.serialization import pack_limbs
+
+VECTOR_FILE = Path(__file__).parent / "vectors" / "hmvp_golden.json"
+
+SCHEME_SEED = 0x601D  # pinned: changing it invalidates the golden file
+DATA_SEED = 0x601D1
+ROWS, COLS = 6, 128
+
+
+def _build():
+    scheme = BfvScheme(
+        toy_params(n=COLS, plain_bits=40), seed=SCHEME_SEED, max_pack=COLS
+    )
+    rng = np.random.default_rng(DATA_SEED)
+    matrix = rng.integers(-100, 100, (ROWS, COLS))
+    vector = rng.integers(-100, 100, COLS)
+    return scheme, matrix, vector
+
+
+def _limb_digests(ct):
+    """SHA-256 of each limb's bit-packed wire bytes, both components."""
+    out = []
+    for component, limbs in (("c0", ct.c0), ("c1", ct.c1)):
+        for i, q in enumerate(ct.basis.moduli):
+            blob = pack_limbs(limbs[i : i + 1], (q,))
+            out.append(
+                {
+                    "component": component,
+                    "limb": i,
+                    "modulus": str(q),
+                    "sha256": hashlib.sha256(blob).hexdigest(),
+                }
+            )
+    return out
+
+
+def _generate():
+    scheme, matrix, vector = _build()
+    ct_v = scheme.encrypt_vector(vector)
+    result = hmvp(scheme, matrix, ct_v)
+    products = result.decrypt(scheme)[:ROWS]
+    return {
+        "description": (
+            "Pinned-seed HMVP golden run: BfvScheme(toy n=128, 40-bit "
+            "plaintext) seed 0x601D, data seed 0x601D1, 6x128 matrix."
+        ),
+        "params": {
+            "n": COLS,
+            "plain_bits": 40,
+            "scheme_seed": SCHEME_SEED,
+            "data_seed": DATA_SEED,
+            "rows": ROWS,
+            "cols": COLS,
+        },
+        "matrix": matrix.tolist(),
+        "vector": vector.tolist(),
+        "expected_products": [int(x) for x in products],
+        "input_ct_digests": _limb_digests(ct_v),
+        "result_ct_digests": _limb_digests(result.packs[0].ct),
+    }
+
+
+def _load():
+    with VECTOR_FILE.open() as fh:
+        return json.load(fh)
+
+
+def test_golden_inputs_regenerate_identically():
+    """The stored matrix/vector come back bit-identical from the pinned
+    seeds — separates 'NumPy RNG stream drifted' from 'pipeline broke'
+    when the digest test below fails."""
+    _scheme, matrix, vector = _build()
+    golden = _load()
+    assert golden["params"]["scheme_seed"] == SCHEME_SEED
+    assert golden["params"]["data_seed"] == DATA_SEED
+    assert matrix.tolist() == golden["matrix"]
+    assert vector.tolist() == golden["vector"]
+
+
+def test_golden_products_are_the_true_dot_products():
+    """The frozen expectations themselves satisfy A @ v (exact integer
+    arithmetic) — the golden file cannot encode a wrong answer."""
+    golden = _load()
+    matrix = np.array(golden["matrix"], dtype=object)
+    vector = np.array(golden["vector"], dtype=object)
+    assert (matrix @ vector).tolist() == golden["expected_products"]
+
+
+def test_golden_replay_matches_products_and_digests():
+    golden = _load()
+    fresh = _generate()
+    assert fresh["expected_products"] == golden["expected_products"]
+    assert fresh["input_ct_digests"] == golden["input_ct_digests"]
+    assert fresh["result_ct_digests"] == golden["result_ct_digests"]
+
+
+def test_golden_digest_shape():
+    """Digests cover every limb of both components for both objects:
+    the augmented input (q0, q1, p) and the rescaled result (q0, q1)."""
+    golden = _load()
+    assert len(golden["input_ct_digests"]) == 2 * 3
+    assert len(golden["result_ct_digests"]) == 2 * 2
+    for entry in golden["input_ct_digests"] + golden["result_ct_digests"]:
+        assert len(entry["sha256"]) == 64
+
+
+if __name__ == "__main__":
+    if "--regen" not in sys.argv:
+        sys.exit("refusing to overwrite golden vectors without --regen")
+    VECTOR_FILE.parent.mkdir(parents=True, exist_ok=True)
+    VECTOR_FILE.write_text(json.dumps(_generate(), indent=2) + "\n")
+    print(f"wrote {VECTOR_FILE}")

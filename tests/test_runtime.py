@@ -137,3 +137,101 @@ def test_job_scheduler_empty_queue():
     report = JobScheduler().schedule([])
     assert report.makespan == 0
     assert report.utilization == 0.0
+
+
+# -- poll_once / poll_async / retry-budget state machine (serving layer) --
+
+
+def test_hang_twice_with_watchdog_still_terminates():
+    """ISSUE regression: a job hitting the hang fault twice in a row,
+    with the watchdog resetting in between, must still reach a terminal
+    state — completed here, since the retry budget covers both hangs."""
+    faults = FaultInjector(hang_script=[True, True, False])
+    rt = FpgaRuntime(faults=faults, max_job_retries=2)
+    jid = rt.submit(rows=16)
+    assert rt.poll(jid) == JobState.DONE
+    assert rt.jobs[jid].retries == 2
+    assert rt.hangs_detected == 2
+    report = rt.health()
+    assert report.job_retries == 2
+    assert report.jobs_completed == 1
+    assert report.healthy
+
+
+def test_hang_twice_budget_one_reports_failed_not_running():
+    """With budget for only one retry, the second hang must FAIL the
+    job — never leave it stuck RUNNING."""
+    faults = FaultInjector(hang_script=[True, True])
+    rt = FpgaRuntime(faults=faults, max_job_retries=1)
+    jid = rt.submit(rows=16)
+    assert rt.poll(jid) == JobState.FAILED
+    assert rt.jobs[jid].state == JobState.FAILED
+    assert rt.health().jobs_failed == 1
+
+
+def test_slow_recovery_survives_across_watchdog_episodes():
+    """The watchdog gap fix: one episode performs 3 resets; a device
+    needing 4 must NOT fail a job that still has retry budget — the
+    next attempt runs a fresh episode and recovers the device."""
+    faults = FaultInjector(
+        hang_script=[True], resets_to_recover=4
+    )
+    rt = FpgaRuntime(faults=faults, max_job_retries=2)
+    jid = rt.submit(rows=16)
+    assert rt.poll(jid) == JobState.DONE
+    assert not rt.device.hung
+    # episode 1: 3 resets (insufficient); episode 2 on hung-device
+    # re-entry: 1 more reset recovers
+    assert rt.resets >= 4
+    assert rt.jobs[jid].retries == 2
+
+
+def test_poll_once_single_step_semantics():
+    faults = FaultInjector(hang_script=[True, False])
+    rt = FpgaRuntime(faults=faults, max_job_retries=2)
+    jid = rt.submit(rows=16)
+    assert rt.poll_once(jid) == JobState.RUNNING  # hang consumed a retry
+    assert rt.jobs[jid].retries == 1
+    assert rt.poll_once(jid) == JobState.DONE
+    # terminal states are sticky
+    assert rt.poll_once(jid) == JobState.DONE
+    assert rt.health().jobs_completed == 1
+
+
+def test_poll_async_terminates_and_matches_sync():
+    import asyncio
+
+    faults = FaultInjector(hang_script=[True, True, False])
+    rt = FpgaRuntime(faults=faults, max_job_retries=2)
+    jid = rt.submit(rows=16)
+    assert asyncio.run(rt.poll_async(jid)) == JobState.DONE
+    assert rt.jobs[jid].retries == 2
+
+    faults2 = FaultInjector(hang_prob=1.0, resets_to_recover=10**9)
+    rt2 = FpgaRuntime(faults=faults2, max_job_retries=1)
+    jid2 = rt2.submit(rows=16)
+    assert asyncio.run(rt2.poll_async(jid2)) == JobState.FAILED
+    assert rt2.health().jobs_failed == 1
+
+
+def test_hung_device_does_not_poison_next_job():
+    """After a job exhausts its budget, the failed-job path must leave
+    the device recoverable: the next submission gets its own watchdog
+    episodes and completes."""
+    faults = FaultInjector(hang_script=[True, True, False])
+    rt = FpgaRuntime(faults=faults, max_job_retries=0)
+    first = rt.submit(rows=16)
+    assert rt.poll(first) == JobState.FAILED
+    second = rt.submit(rows=16)
+    assert rt.poll(second) == JobState.FAILED  # second scripted hang
+    third = rt.submit(rows=16)
+    assert rt.poll(third) == JobState.DONE  # script exhausted: runs clean
+    assert rt.health().jobs_failed == 2
+
+
+def test_scheduler_reports_retry_totals():
+    from repro.hw.runtime import Job, JobScheduler
+
+    jobs = [Job(job_id=i, rows=64, retries=i % 2) for i in range(6)]
+    report = JobScheduler().schedule(jobs)
+    assert report.retries == 3

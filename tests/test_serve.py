@@ -1,0 +1,257 @@
+"""Tests for the async fault-tolerant serving layer (repro.serve).
+
+The load-bearing invariant throughout: *zero dropped* — every admitted
+request reaches exactly one terminal outcome (ok / degraded / rejected /
+deadline), under every injected fault pattern.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.hw.runtime import FaultInjector
+from repro.serve import (
+    HmvpServer,
+    RequestStatus,
+    ServeConfig,
+    ServeOutcome,
+    ServeReport,
+    serve_requests,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix8(scheme128):
+    rng = np.random.default_rng(0x5E12)
+    return rng.integers(-40, 40, (8, 128))
+
+
+@pytest.fixture(scope="module")
+def vectors8(scheme128):
+    rng = np.random.default_rng(0x5E13)
+    return [rng.integers(-40, 40, 128) for _ in range(12)]
+
+
+@pytest.fixture(scope="module")
+def cts8(scheme128, vectors8):
+    return [scheme128.encrypt_vector(v) for v in vectors8]
+
+
+def _expected(matrix, vector):
+    return matrix.astype(object) @ vector.astype(object)
+
+
+def test_clean_serving_completes_everything(scheme128, matrix8, vectors8, cts8):
+    config = ServeConfig(engines=2, max_batch=4, queue_capacity=64, seed=1)
+    rep = serve_requests(scheme128, matrix8, cts8, config)
+    assert rep.submitted == len(cts8)
+    assert rep.ok == len(cts8)
+    assert rep.degraded == rep.rejected == rep.deadline_expired == 0
+    assert rep.dropped == 0
+    for o in rep.outcomes:
+        assert o.status is RequestStatus.OK
+        assert np.array_equal(
+            o.result.decrypt(scheme128),
+            _expected(matrix8, vectors8[o.request_id]),
+        )
+        assert o.total_ms >= 0.0
+        assert o.engine in (0, 1)
+
+
+def test_matrix_encoded_once_across_engines(scheme128, matrix8, cts8):
+    config = ServeConfig(engines=3, max_batch=4, queue_capacity=64, seed=2)
+
+    async def _run():
+        server = HmvpServer(scheme128, matrix8, config)
+        await server.start()
+        futures = [await server.submit(ct) for ct in cts8[:4]]
+        await asyncio.gather(*futures)
+        await server.close()
+        return server
+
+    server = asyncio.run(_run())
+    # one shared cache: the first engine encodes, the other two hit
+    assert server.cache.misses == 1
+    assert server.cache.hits == 2
+
+
+def test_scripted_faults_all_retried_to_success(scheme128, matrix8, vectors8, cts8):
+    """Every first offload attempt hangs, every retry runs: all requests
+    complete OK with exactly one retry each — deterministic, no
+    probability in the loop."""
+    config = ServeConfig(
+        engines=1,
+        max_batch=4,
+        queue_capacity=64,
+        max_retries=2,
+        backoff_base_ms=0.1,
+        seed=3,
+    )
+    injectors = [FaultInjector(hang_script=[True, False] * len(cts8))]
+
+    async def _run():
+        server = HmvpServer(
+            scheme128, matrix8, config, fault_injectors=injectors
+        )
+        await server.start()
+        futures = [await server.submit(ct) for ct in cts8]
+        outcomes = list(await asyncio.gather(*futures))
+        await server.close()
+        return server.report(outcomes, wall_s=1.0)
+
+    rep = asyncio.run(_run())
+    assert rep.ok == len(cts8)
+    assert rep.dropped == 0
+    assert all(o.retries == 1 for o in rep.outcomes)
+    assert rep.engine_health[0].job_retries == len(cts8)
+    assert rep.engine_health[0].hangs_detected == len(cts8)
+
+
+def test_exhausted_retries_degrade_to_cpu(scheme128, matrix8, vectors8, cts8):
+    """A permanently-hanging device degrades every request to the CPU
+    path; results stay exact and nothing is dropped."""
+    config = ServeConfig(
+        engines=2,
+        max_batch=4,
+        queue_capacity=64,
+        fault_rate=1.0,
+        max_retries=1,
+        backoff_base_ms=0.1,
+        seed=4,
+    )
+    rep = serve_requests(scheme128, matrix8, cts8, config)
+    assert rep.degraded == len(cts8)
+    assert rep.ok == 0
+    assert rep.dropped == 0
+    for o in rep.outcomes:
+        assert o.status is RequestStatus.DEGRADED
+        assert o.retries == 1
+        assert o.cycles > 0  # CPU-model priced
+        assert np.array_equal(
+            o.result.decrypt(scheme128),
+            _expected(matrix8, vectors8[o.request_id]),
+        )
+
+
+def test_admission_sheds_on_full_queue(scheme128, matrix8, cts8):
+    """Submissions beyond the bound resolve immediately as REJECTED and
+    bump serve.rejected; admitted ones still complete."""
+    obs.enable_metrics()
+    obs.REGISTRY.reset()
+    config = ServeConfig(
+        engines=1, max_batch=2, queue_capacity=2, seed=5
+    )
+
+    async def _run():
+        server = HmvpServer(scheme128, matrix8, config)
+        await server.start()
+        # submit() never suspends before enqueueing, so all eight land
+        # before any worker runs: exactly queue_capacity are admitted
+        futures = [await server.submit(ct) for ct in cts8[:8]]
+        outcomes = list(await asyncio.gather(*futures))
+        await server.close()
+        return server.report(outcomes, wall_s=1.0)
+
+    try:
+        rep = asyncio.run(_run())
+    finally:
+        snap = obs.REGISTRY.snapshot()
+        obs.disable_metrics()
+    assert rep.rejected == 6
+    assert rep.ok == 2
+    assert rep.dropped == 0
+    assert snap["counters"]["serve.rejected"] == 6
+    assert snap["counters"]["serve.accepted"] == 2
+
+
+def test_expired_deadline_is_reported_not_computed(scheme128, matrix8, cts8):
+    config = ServeConfig(engines=1, max_batch=4, queue_capacity=64, seed=6)
+    deadlines = [0.0, 0.0] + [None] * (len(cts8) - 2)
+    rep = serve_requests(scheme128, matrix8, cts8, config, deadlines_ms=deadlines)
+    assert rep.deadline_expired == 2
+    assert rep.ok == len(cts8) - 2
+    assert rep.dropped == 0
+    expired = [o for o in rep.outcomes if o.status is RequestStatus.DEADLINE]
+    assert all(o.result is None for o in expired)
+    assert {o.request_id for o in expired} == {0, 1}
+
+
+def test_load_balances_across_engines(scheme128, matrix8, cts8):
+    """With equal-cost micro-batches, work-stealing keeps the engines'
+    simulated busy cycles close to even."""
+    config = ServeConfig(
+        engines=2, max_batch=2, max_wait_ms=1.0, queue_capacity=64, seed=7
+    )
+    rep = serve_requests(scheme128, matrix8, cts8, config)
+    busy = rep.per_engine_busy_cycles
+    assert len(busy) == 2
+    assert min(busy) > 0, "one engine never served anything"
+    assert rep.makespan_cycles < sum(busy), "no overlap between engines"
+
+
+def test_serve_metrics_and_spans(scheme128, matrix8, cts8):
+    obs.enable_metrics()
+    obs.REGISTRY.reset()
+    obs.enable_tracing()
+    try:
+        config = ServeConfig(engines=1, max_batch=4, queue_capacity=64, seed=8)
+        serve_requests(scheme128, matrix8, cts8[:4], config)
+        snap = obs.REGISTRY.snapshot()
+        names = {s.name for s in obs.TRACER.spans}
+    finally:
+        obs.disable_metrics()
+        obs.disable_tracing()
+    assert snap["counters"]["serve.accepted"] == 4
+    assert snap["counters"]["serve.completed"] == 4
+    assert snap["histograms"]["serve.latency.total_ms"]["count"] == 4
+    assert snap["histograms"]["serve.batch.size"]["count"] >= 1
+    assert "serve.batch" in names
+    assert "serve.request" in names
+    # per-stage latency percentiles are queryable off the registry
+    hist = obs.REGISTRY.histogram("serve.latency.total_ms")
+    assert hist.percentile(50) <= hist.percentile(99)
+
+
+def test_report_invariants_and_dict_shape(scheme128, matrix8, cts8):
+    config = ServeConfig(engines=2, max_batch=4, queue_capacity=64, seed=9)
+    rep = serve_requests(scheme128, matrix8, cts8, config)
+    d = rep.to_dict()
+    assert d["submitted"] == d["ok"] + d["degraded"] + d["rejected"] + d["deadline"]
+    assert d["dropped"] == 0
+    assert d["latency_ms"]["p50"] <= d["latency_ms"]["p95"] <= d["latency_ms"]["p99"]
+    assert d["sim"]["makespan_cycles"] == max(d["sim"]["per_engine_busy_cycles"])
+    assert len(d["health"]) == 2
+
+
+def test_rejects_multi_column_tile_matrix(scheme128):
+    wide = np.ones((4, 300), dtype=np.int64)  # > ring degree 128
+    with pytest.raises(ValueError, match="single-column-tile"):
+        HmvpServer(scheme128, wide, ServeConfig(engines=1))
+
+
+def test_submit_requires_augmented_ciphertext(scheme128, matrix8):
+    config = ServeConfig(engines=1, queue_capacity=8, seed=10)
+
+    async def _run():
+        server = HmvpServer(scheme128, matrix8, config)
+        await server.start()
+        ct = scheme128.encrypt_vector(np.ones(128, dtype=np.int64))
+        bad = ct.rescale()  # drop to the normal basis
+        with pytest.raises(ValueError, match="augmented"):
+            await server.submit(bad)
+        await server.close()
+
+    asyncio.run(_run())
+
+
+def test_empty_run_report():
+    rep = ServeReport(
+        outcomes=[], wall_s=0.0, engine_health=[],
+        per_engine_busy_cycles=[], clock_hz=300e6,
+        config=ServeConfig(),
+    )
+    assert rep.latency_ms(95) == 0.0
+    assert rep.goodput_sim_rps == 0.0
+    assert rep.dropped == 0
