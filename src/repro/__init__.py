@@ -15,7 +15,10 @@ The package is layered:
 * :mod:`repro.apps` — HeteroLR, Beaver triple generation, private
   inference;
 * :mod:`repro.obs` — unified observability: metrics registry (counters,
-  gauges, histograms) and span tracer with JSONL / Chrome-trace export.
+  gauges, histograms) and span tracer with JSONL / Chrome-trace export;
+* :mod:`repro.analysis` — HE-aware static analysis: AST lint rules that
+  machine-check the paper's arithmetic contracts (overflow-safe modular
+  products, dtype discipline, seeded randomness, non-blocking serving).
 
 Quickstart::
 
@@ -29,6 +32,15 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import apps, core, he, hw, math, obs
+from . import analysis, apps, core, he, hw, math, obs
 
-__all__ = ["apps", "core", "he", "hw", "math", "obs", "__version__"]
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "he",
+    "hw",
+    "math",
+    "obs",
+    "__version__",
+]

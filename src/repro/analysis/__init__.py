@@ -1,0 +1,83 @@
+"""HE-aware static analysis for the CHAM reproduction.
+
+A rule-based AST lint framework plus ~8 codebase-specific rules that
+machine-check the paper's arithmetic contracts (CHAM, Ren et al.,
+DAC 2023) on every PR:
+
+========  ========================  =====================================
+ID        name                      invariant
+========  ========================  =====================================
+REPRO101  overflow-unsafe-modmul    residue products go through
+                                    ``modular.modmul_vec`` (35-bit moduli
+                                    overflow uint64 under ``(a*b) % q``)
+REPRO102  dtype-discipline          no lossy int64/float casts on residue
+                                    arrays; no ``np.mod`` on floats
+REPRO103  unseeded-randomness       every RNG in ``src/repro`` takes an
+                                    explicit deterministic seed
+REPRO104  blocking-call-in-async    the serving layer never blocks the
+                                    event loop
+REPRO105  bare-modulus-guard        literal moduli respect
+                                    ``MAX_MODULUS_BITS``
+REPRO106  mutable-default           no shared mutable defaults in
+                                    functions or config dataclasses
+REPRO107  silent-broad-except       fault-path errors are never silently
+                                    swallowed
+REPRO108  print-instead-of-obs      library layers report via
+                                    ``repro.obs``, not stdout
+========  ========================  =====================================
+
+Suppress a finding in place with ``# repro: noqa RULE-ID`` plus a
+justification comment.  CLI: ``python -m repro lint [--json] [--ci]
+[--rule ID] [paths]``.  See ``docs/ARCHITECTURE.md`` section 8 for the
+full catalog and policy.
+"""
+
+from .core import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+    Rule,
+    SourceFile,
+    all_rules,
+    diagnostics_to_json,
+    get_rules,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+    render_text,
+)
+from .rules import MAX_MODULUS_BITS
+from .toolchain import (
+    ToolResult,
+    repo_root,
+    run_ci,
+    run_mypy,
+    run_ruff,
+    tool_available,
+)
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Diagnostic",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "diagnostics_to_json",
+    "get_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_text",
+    "MAX_MODULUS_BITS",
+    "ToolResult",
+    "repo_root",
+    "run_ci",
+    "run_mypy",
+    "run_ruff",
+    "tool_available",
+]

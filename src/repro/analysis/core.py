@@ -1,0 +1,334 @@
+"""Rule framework for the HE-aware static-analysis subsystem.
+
+CHAM's correctness rests on invariants the Python type system cannot
+express: residue products must route through the split-multiply path of
+:mod:`repro.math.modular` (35-bit moduli overflow ``uint64`` under a
+naive ``(a * b) % q``), signed centering must stay in object dtype, the
+serving layer must never block the event loop.  This module provides the
+machinery that lets those invariants be *machine-checked* on every PR:
+
+* :class:`Rule` — one registered invariant, with a stable ID
+  (``REPRO1xx``), a severity, and an AST check over a parsed source file;
+* :class:`SourceFile` — a parsed file plus its per-line
+  ``# repro: noqa RULE-ID`` suppression table;
+* :class:`Diagnostic` — one finding (file/line/col/rule/message);
+* :func:`lint_paths` / :func:`lint_source` — the engine that applies a
+  rule set to files or inline snippets (the latter is what the fixture
+  tests in ``tests/test_analysis.py`` drive).
+
+The concrete rules live in :mod:`repro.analysis.rules`; external tool
+wrappers (ruff, mypy) in :mod:`repro.analysis.toolchain`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Diagnostic",
+    "SourceFile",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_text",
+    "diagnostics_to_json",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: ID reserved for files the engine cannot parse at all.
+SYNTAX_RULE_ID = "REPRO000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?P<ids>[ \t]+[A-Z0-9][A-Z0-9,\s-]*)?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule fired at a specific location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """A source file plus its parsed AST and noqa suppression table.
+
+    Suppressions are per-line: ``# repro: noqa REPRO101`` silences that
+    rule on that line, ``# repro: noqa REPRO101, REPRO103`` several, and
+    a bare ``# repro: noqa`` silences every rule on the line.
+    """
+
+    def __init__(self, text: str, rel: str, path: Optional[Path] = None) -> None:
+        self.text = text
+        self.rel = rel
+        self.path = path
+        self.lines = text.splitlines()
+        self._tree: Optional[ast.Module] = None
+        self._noqa: Optional[Dict[int, Optional[Set[str]]]] = None
+
+    @classmethod
+    def from_path(cls, path: Path, root: Optional[Path] = None) -> "SourceFile":
+        rel = relativize(path, root)
+        return cls(path.read_text(encoding="utf-8"), rel, path)
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed module (raises :class:`SyntaxError` on bad input)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.rel)
+        return self._tree
+
+    @property
+    def noqa(self) -> Dict[int, Optional[Set[str]]]:
+        """Line number -> suppressed rule IDs (``None`` = all rules)."""
+        if self._noqa is None:
+            table: Dict[int, Optional[Set[str]]] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                match = _NOQA_RE.search(line)
+                if not match:
+                    continue
+                ids = match.group("ids")
+                if ids is None:
+                    table[lineno] = None  # blanket
+                else:
+                    table[lineno] = {
+                        part.strip().upper()
+                        for part in ids.replace(",", " ").split()
+                        if part.strip()
+                    }
+            self._noqa = table
+        return self._noqa
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        if line not in self.noqa:
+            return False
+        ids = self.noqa[line]
+        return ids is None or rule_id in ids
+
+
+class Rule:
+    """Base class for one registered lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` narrows the default file scope (paths are
+    repo-relative POSIX strings, e.g. ``src/repro/he/bfv.py``).
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = SEVERITY_ERROR
+    rationale: str = ""
+
+    def applies_to(self, rel_path: str) -> bool:
+        return True
+
+    def check(self, src: SourceFile) -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, src: SourceFile, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=src.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add the rule to the registry."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs an id and a name")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by ID."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve rule IDs (case-insensitive); ``None`` selects all."""
+    if not ids:
+        return all_rules()
+    _ensure_rules_loaded()
+    out = []
+    for rid in ids:
+        key = rid.upper()
+        if key not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown rule {rid!r} (known: {known})")
+        out.append(_REGISTRY[key])
+    return out
+
+
+def _ensure_rules_loaded() -> None:
+    # The concrete rules register themselves on import; pulling the
+    # module in here keeps `get_rules` usable without import-order care.
+    from . import rules as _rules  # noqa: F401  (import for side effect)
+
+
+def relativize(path: Path, root: Optional[Path] = None) -> str:
+    """Repo-relative POSIX path when possible, else the given path."""
+    path = Path(path)
+    candidates = [root] if root is not None else []
+    candidates.append(Path.cwd())
+    for base in candidates:
+        if base is None:
+            continue
+        try:
+            return path.resolve().relative_to(Path(base).resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.suffix == ".py" and path.is_file():
+            out.append(path)
+    seen: Set[Path] = set()
+    unique = []
+    for p in out:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            unique.append(p)
+    return unique
+
+
+def lint_file(
+    src: SourceFile,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = True,
+) -> List[Diagnostic]:
+    """Apply rules to one parsed source file, honoring suppressions."""
+    selected = list(rules) if rules is not None else all_rules()
+    try:
+        src.tree
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=src.rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=SYNTAX_RULE_ID,
+                severity=SEVERITY_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    diags: List[Diagnostic] = []
+    for rule in selected:
+        if respect_scope and not rule.applies_to(src.rel):
+            continue
+        for diag in rule.check(src):
+            if not src.suppressed(diag.line, diag.rule_id):
+                diags.append(diag)
+    return sorted(diags)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+    respect_scope: bool = True,
+) -> List[Diagnostic]:
+    """Lint files and/or directory trees; returns sorted diagnostics."""
+    diags: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        src = SourceFile.from_path(path, root=root)
+        diags.extend(lint_file(src, rules=rules, respect_scope=respect_scope))
+    return sorted(diags)
+
+
+def lint_source(
+    text: str,
+    filename: str = "snippet.py",
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = False,
+) -> List[Diagnostic]:
+    """Lint an in-memory snippet (the fixture-test entry point).
+
+    Scope filters are off by default so a fixture exercises its rule
+    regardless of the pretend filename; pass ``respect_scope=True`` with
+    a realistic ``filename`` to test the scoping itself.
+    """
+    src = SourceFile(text, filename)
+    return lint_file(src, rules=rules, respect_scope=respect_scope)
+
+
+def render_text(diags: Sequence[Diagnostic]) -> str:
+    """Human-readable report (one line per finding plus a summary)."""
+    if not diags:
+        return "repro.analysis: no findings"
+    lines = [d.format() for d in diags]
+    errors = sum(1 for d in diags if d.severity == SEVERITY_ERROR)
+    warnings = len(diags) - errors
+    lines.append(
+        f"repro.analysis: {errors} error(s), {warnings} warning(s) "
+        f"in {len({d.path for d in diags})} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def diagnostics_to_json(diags: Sequence[Diagnostic]) -> Dict[str, object]:
+    """JSON-ready payload (the CI artifact shape)."""
+    return {
+        "diagnostics": [d.to_dict() for d in diags],
+        "summary": {
+            "errors": sum(1 for d in diags if d.severity == SEVERITY_ERROR),
+            "warnings": sum(
+                1 for d in diags if d.severity == SEVERITY_WARNING
+            ),
+            "files": len({d.path for d in diags}),
+        },
+    }

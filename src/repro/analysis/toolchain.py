@@ -1,0 +1,153 @@
+"""External-tool orchestration for ``repro lint --ci``.
+
+One entry point runs the three gates the CI ``lint`` job enforces:
+
+1. the custom HE-aware rules (:mod:`repro.analysis.rules`) over
+   ``src/repro``;
+2. **ruff** (style/pyflakes layer, config in ``pyproject.toml``);
+3. **mypy** (strict profile on ``repro.math`` + ``repro.he``, standard
+   elsewhere — see ``[tool.mypy]`` in ``pyproject.toml``).
+
+ruff and mypy are *gated*: environments without them (the pinned
+offline container, minimal dev setups) report the tool as ``skipped``
+and the gate passes on the custom rules alone; CI installs both, so
+``skipped`` never happens there.  No network access or installation is
+ever attempted here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core import Diagnostic, diagnostics_to_json, lint_paths, render_text
+
+__all__ = [
+    "ToolResult",
+    "repo_root",
+    "tool_available",
+    "run_ruff",
+    "run_mypy",
+    "run_ci",
+]
+
+
+@dataclass(frozen=True)
+class ToolResult:
+    """Outcome of one external tool invocation."""
+
+    name: str
+    status: str  #: "ok" | "failed" | "skipped"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "skipped")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "status": self.status, "detail": self.detail}
+
+
+def repo_root() -> Path:
+    """The checkout root: the directory holding ``pyproject.toml``.
+
+    Resolved from this file's location (``src/repro/analysis/``), so it
+    works no matter the caller's working directory.
+    """
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return here.parents[3]
+
+
+def tool_available(module: str) -> bool:
+    """True when ``python -m <module>`` would resolve."""
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _run(
+    cmd: Sequence[str], cwd: Path, env: Optional[Dict[str, str]] = None
+) -> Tuple[int, str]:
+    import os
+
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    proc = subprocess.run(
+        list(cmd),
+        cwd=str(cwd),
+        env=merged,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout.strip()
+
+
+def run_ruff(root: Optional[Path] = None) -> ToolResult:
+    """``ruff check src`` with the pyproject config, if installed."""
+    root = root or repo_root()
+    if not tool_available("ruff"):
+        return ToolResult("ruff", "skipped", "ruff not installed")
+    code, output = _run(
+        [sys.executable, "-m", "ruff", "check", "src"], cwd=root
+    )
+    return ToolResult("ruff", "ok" if code == 0 else "failed", output)
+
+
+def run_mypy(root: Optional[Path] = None) -> ToolResult:
+    """``mypy -p repro`` with the pyproject config, if installed."""
+    root = root or repo_root()
+    if not tool_available("mypy"):
+        return ToolResult("mypy", "skipped", "mypy not installed")
+    code, output = _run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            "pyproject.toml",
+            "-p",
+            "repro",
+        ],
+        cwd=root,
+        env={"MYPYPATH": str(root / "src")},
+    )
+    return ToolResult("mypy", "ok" if code == 0 else "failed", output)
+
+
+def run_ci(
+    root: Optional[Path] = None,
+) -> Tuple[int, Dict[str, object], str]:
+    """The full ``repro lint --ci`` gate.
+
+    Returns ``(exit_code, json_report, human_text)``; exit code 0 means
+    every custom rule is clean on ``src/repro`` and every available
+    external tool passed.
+    """
+    root = root or repo_root()
+    src = root / "src" / "repro"
+    diags: List[Diagnostic] = lint_paths([src], root=root)
+    tools = [run_ruff(root), run_mypy(root)]
+
+    report = diagnostics_to_json(diags)
+    report["tools"] = [t.to_dict() for t in tools]
+    failed_tools = [t for t in tools if not t.ok]
+    ok = not diags and not failed_tools
+    report["ok"] = ok
+
+    lines = [render_text(diags)]
+    for tool in tools:
+        lines.append(f"{tool.name}: {tool.status}")
+        if tool.detail and tool.status == "failed":
+            lines.append(tool.detail)
+    lines.append(f"repro lint --ci: {'PASS' if ok else 'FAIL'}")
+    return (0 if ok else 1), report, "\n".join(lines)

@@ -29,7 +29,7 @@ harness, so both correctness *and* communication are measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

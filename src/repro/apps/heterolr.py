@@ -24,7 +24,7 @@ operation tallies so the performance benchmark can price each backend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

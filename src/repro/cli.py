@@ -24,7 +24,11 @@ Gives a downstream user the zero-code tour:
 ``serve``
     load-generate against the async fault-tolerant serving front-end
     (multi-engine dispatch, deadlines, retry + backoff, CPU degrade)
-    and print per-status counts, latency percentiles and goodput.
+    and print per-status counts, latency percentiles and goodput;
+``lint``
+    run the HE-aware static-analysis rules (``repro.analysis``) over
+    ``src/repro`` or the given paths; ``--ci`` additionally runs ruff
+    and mypy (skipped gracefully when not installed) as the merge gate.
 
 ``demo``, ``trace`` and ``report`` additionally accept
 ``--trace-out FILE`` to dump a Chrome-trace-format span file, loadable
@@ -404,6 +408,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: custom HE-aware rules, optionally ruff + mypy.
+
+    Exit code 0 means clean (or suppressed with justified
+    ``# repro: noqa RULE-ID`` comments); 1 means findings or a failed
+    external tool.  ``--ci`` is the merge-gate mode the GitHub Actions
+    ``lint`` job runs; it always lints ``src/repro`` regardless of the
+    working directory and writes the JSON artifact via ``--json-out``.
+    """
+    import pathlib
+
+    from repro import analysis
+
+    if args.list_rules:
+        for rule in analysis.all_rules():
+            print(f"{rule.id}  {rule.name:24s} [{rule.severity}]")
+            print(f"          {rule.rationale}")
+        return 0
+
+    if args.ci:
+        code, report, text = analysis.run_ci()
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(report, fh, indent=2)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(text)
+        return code
+
+    rules = analysis.get_rules(args.rule) if args.rule else None
+    root = analysis.repo_root()
+    paths = (
+        [pathlib.Path(p) for p in args.paths]
+        if args.paths
+        else [root / "src" / "repro"]
+    )
+    diags = analysis.lint_paths(paths, rules=rules, root=root)
+    report = analysis.diagnostics_to_json(diags)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(analysis.render_text(diags))
+    return 1 if diags else 0
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     from repro.hw.dse import enumerate_design_space, pareto_front
 
@@ -509,6 +562,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="dump the serve report + counters as JSON")
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="HE-aware static analysis (repro.analysis)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--rule", action="append", metavar="ID",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="print the diagnostics report as JSON")
+    lint.add_argument("--json-out", metavar="FILE", default=None,
+                      help="also write the JSON report to FILE (CI artifact)")
+    lint.add_argument("--ci", action="store_true",
+                      help="merge-gate mode: custom rules on src/repro plus "
+                           "ruff and mypy (skipped when not installed)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -20,7 +20,6 @@ correlation ("conv" in the ML sense).  Output positions for the 2-D case:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

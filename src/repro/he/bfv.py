@@ -123,8 +123,12 @@ class BfvScheme:
 
     # -- diagnostics -----------------------------------------------------------------
 
-    def noise_bits(self, ct: RlweCiphertext, positions=None) -> float:
+    def noise_bits(
+        self, ct: RlweCiphertext, positions: Optional[Sequence[int]] = None
+    ) -> float:
         return absolute_noise_bits(self.ctx, self.secret_key, ct, positions)
 
-    def noise_budget(self, ct: RlweCiphertext, positions=None) -> float:
+    def noise_budget(
+        self, ct: RlweCiphertext, positions: Optional[Sequence[int]] = None
+    ) -> float:
         return invariant_noise_budget(self.ctx, self.secret_key, ct, positions)

@@ -32,7 +32,10 @@ the single rescale-by-``p``, which BGV ciphertexts cannot share without
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # typing-only: keep bgv import-light at runtime
+    from .bfv import BfvScheme
 
 import numpy as np
 
@@ -154,7 +157,7 @@ def bgv_to_bfv(bgv: BgvScheme, ct: RlweCiphertext) -> RlweCiphertext:
     return RlweCiphertext(ct.ctx, basis, c0, c1)
 
 
-def bfv_to_bgv(bfv_scheme, ct: RlweCiphertext) -> RlweCiphertext:
+def bfv_to_bgv(bfv_scheme: "BfvScheme", ct: RlweCiphertext) -> RlweCiphertext:
     """Inverse switch: a BGV encryption of ``-Q * m mod t`` at noise ``e``."""
     if ct.is_augmented:
         raise ValueError("convert normal-basis ciphertexts (rescale first)")

@@ -32,10 +32,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..math.modular import modadd_vec, modmul_vec, modneg_vec, modsub_vec
-from ..math.rns import RnsBasis
+from ..math.modular import modadd_vec, modmul_vec, modneg_vec
 from .context import CheContext
-from .keys import GaloisKeyset, SecretKey, generate_galois_keyset, generate_secret_key, pack_galois_elements
+from .keys import (
+    GaloisKeyset,
+    SecretKey,
+    generate_galois_keyset,
+    generate_secret_key,
+    pack_galois_elements,
+)
 from .params import CheParams, cham_params
 from .rlwe import RlweCiphertext
 

@@ -13,7 +13,7 @@ fixed-point view of the plaintext space ``Z_t``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,7 +41,9 @@ class Plaintext:
     def centered(self) -> np.ndarray:
         """Coefficients lifted to ``(-t/2, t/2]`` as int64 (t < 2**62)."""
         half = self.t // 2
-        c = self.coeffs.astype(np.int64)
+        # single-limb plaintext residues: t < 2**62 so the centered lift
+        # fits int64 exactly (multi-limb centering uses center_lift_vec)
+        c = self.coeffs.astype(np.int64)  # repro: noqa REPRO102
         return np.where(c > half, c - self.t, c)
 
     def infinity_norm(self) -> int:
@@ -132,7 +134,8 @@ class CoefficientEncoder:
         stride = self.n >> levels
         slots = pt.coeffs[: count * stride : stride].astype(object)
         inv = pow(2, -scale_pow2, self.t) if scale_pow2 else 1
-        vals = (slots * inv) % self.t
+        # object-dtype big-int multiply: exact at any modulus width
+        vals = (slots * inv) % self.t  # repro: noqa REPRO101
         half = self.t // 2
         return np.where(vals > half, vals - self.t, vals)
 
@@ -161,7 +164,9 @@ class FixedPointCodec:
         ints = vals.astype(np.int64).astype(object)
         return np.mod(ints, self.t)
 
-    def decode(self, enc: np.ndarray, scale_bits: int = None) -> np.ndarray:
+    def decode(
+        self, enc: np.ndarray, scale_bits: Optional[int] = None
+    ) -> np.ndarray:
         """Centered decode; ``scale_bits`` defaults to one factor."""
         bits = self.frac_bits if scale_bits is None else scale_bits
         arr = np.mod(np.asarray(enc, dtype=object), self.t)
@@ -169,6 +174,6 @@ class FixedPointCodec:
         signed = np.where(arr > half, arr - self.t, arr)
         return signed.astype(np.float64) / float(1 << bits)
 
-    def max_representable(self, scale_bits: int = None) -> float:
+    def max_representable(self, scale_bits: Optional[int] = None) -> float:
         bits = self.frac_bits if scale_bits is None else scale_bits
         return float(self.t // 2) / float(1 << bits)

@@ -14,7 +14,7 @@ by ``p`` recovers ``c * s_src`` with only word-sized noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -149,7 +149,8 @@ def generate_keyswitch_key(
     for i, qi in enumerate(params.ct_moduli):
         # the CRT "selector" of limb i, scaled by p:  p * Q̂_i * (Q̂_i^{-1} mod q_i)
         q_hat = params.q_product // qi
-        selector = (p * q_hat * modinv(q_hat % qi, qi)) % qp
+        # scalar Python-int CRT precompute: exact at any width
+        selector = (p * q_hat * modinv(q_hat % qi, qi)) % qp  # repro: noqa REPRO101
         a = ctx.sample_uniform(aug)
         e = ctx.signed_to_limbs(ctx.sample_error_signed(), aug)
         a_s = ctx.negacyclic_multiply(a, dst_limbs, aug)
@@ -170,7 +171,7 @@ def generate_galois_key(ctx: CheContext, sk: SecretKey, g: int) -> KeySwitchKey:
     return generate_keyswitch_key(ctx, sk.automorphed(g), sk)
 
 
-def pack_galois_elements(n: int, max_count: int = None) -> List[int]:
+def pack_galois_elements(n: int, max_count: Optional[int] = None) -> List[int]:
     """Galois elements PACKLWES needs: ``2**k + 1`` for each merge level.
 
     Packing ``m`` ciphertexts uses levels ``k = 1 .. ceil(log2 m)``; the
@@ -184,7 +185,7 @@ def pack_galois_elements(n: int, max_count: int = None) -> List[int]:
 
 
 def generate_galois_keyset(
-    ctx: CheContext, sk: SecretKey, elements: List[int] = None
+    ctx: CheContext, sk: SecretKey, elements: Optional[List[int]] = None
 ) -> GaloisKeyset:
     """Generate the keyset for PACKLWES (all pack levels by default)."""
     if elements is None:

@@ -147,7 +147,9 @@ def decrypt_lwe(ctx: CheContext, sk: SecretKey, lwe: LweCiphertext) -> int:
     modulus = lwe.basis.product
     phase = 0
     for i, q in enumerate(lwe.basis):
-        weight = (lwe.basis.punctured_inv[i] * lwe.basis.punctured[i]) % modulus
+        # scalar Python-int CRT weights: exact at any width
+        raw = lwe.basis.punctured_inv[i] * lwe.basis.punctured[i]
+        weight = raw % modulus
         phase = (phase + phase_limbs[i] * weight) % modulus
     if phase > modulus // 2:
         phase -= modulus

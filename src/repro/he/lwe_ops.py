@@ -30,7 +30,6 @@ from typing import Optional
 import numpy as np
 
 from .context import CheContext
-from .keys import SecretKey
 from .lwe import LweCiphertext
 
 __all__ = [

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
 from .context import CheContext
@@ -34,8 +35,8 @@ def _invariant_residual(
     ctx: CheContext,
     sk: SecretKey,
     ct: RlweCiphertext,
-    positions=None,
-) -> "tuple[int, int]":
+    positions: Optional[Sequence[int]] = None,
+) -> Tuple[int, int]:
     """Return ``(max |t*phase - m*M|, M)`` with ``m = round(t*phase/M)``.
 
     The quantity ``(t*phase - m*M) / M`` is the SEAL-style *invariant
@@ -62,7 +63,10 @@ def _invariant_residual(
 
 
 def absolute_noise_bits(
-    ctx: CheContext, sk: SecretKey, ct: RlweCiphertext, positions=None
+    ctx: CheContext,
+    sk: SecretKey,
+    ct: RlweCiphertext,
+    positions: Optional[Sequence[int]] = None,
 ) -> float:
     """``log2`` of the equivalent additive error ``|ν| * M / t``.
 
@@ -78,7 +82,10 @@ def absolute_noise_bits(
 
 
 def invariant_noise_budget(
-    ctx: CheContext, sk: SecretKey, ct: RlweCiphertext, positions=None
+    ctx: CheContext,
+    sk: SecretKey,
+    ct: RlweCiphertext,
+    positions: Optional[Sequence[int]] = None,
 ) -> float:
     """Bits of decryption margin left: ``-log2(2 |ν|)``.
 
@@ -95,7 +102,7 @@ def invariant_noise_budget(
     return budget
 
 
-def packed_slot_positions(n: int, count: int) -> "list[int]":
+def packed_slot_positions(n: int, count: int) -> List[int]:
     """Slot coefficient indices of a PACKLWES result over ``count`` inputs."""
     levels = max(count - 1, 0).bit_length()
     stride = n >> levels

@@ -36,7 +36,9 @@ import numpy as np
 from .. import obs
 from ..math.modular import modadd_vec, modneg_vec, modsub_vec
 from ..math.polynomial import automorph, shiftneg
+from ..math.rns import RnsBasis
 from .automorphism import apply_automorphism
+from .context import CheContext
 from .keys import GaloisKeyset
 from .keyswitch import key_switch_raw
 from .lwe import LweCiphertext, lwe_to_rlwe
@@ -172,8 +174,8 @@ def pack_lwes_batched(
 
 
 def pack_stacked_lwes(
-    ctx,
-    basis,
+    ctx: CheContext,
+    basis: RnsBasis,
     b: np.ndarray,
     a: np.ndarray,
     galois_keys: GaloisKeyset,

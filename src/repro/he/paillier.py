@@ -17,9 +17,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 __all__ = ["PaillierPublicKey", "PaillierSecretKey", "Paillier", "paillier_keygen"]
+
+#: Default RNG seed when the caller passes ``seed=None``.  The
+#: reproduction is deterministic end to end ("same checkout, same
+#: results" — see the determinism audit); production deployments must
+#: pass their own entropy explicitly.
+DEFAULT_SEED = 0xFA7E
 
 
 def _random_prime(bits: int, rng: random.Random) -> int:
@@ -63,6 +69,8 @@ def paillier_keygen(
     bits: int = 2048, seed: Optional[int] = None
 ) -> PaillierSecretKey:
     """Generate a Paillier key pair with an RSA modulus of ``bits`` bits."""
+    if seed is None:
+        seed = DEFAULT_SEED
     rng = random.Random(seed)
     half = bits // 2
     while True:
@@ -84,9 +92,11 @@ class Paillier:
     """A Paillier instance with encrypt/decrypt/homomorphic operations."""
 
     def __init__(self, bits: int = 2048, seed: Optional[int] = None) -> None:
+        if seed is None:
+            seed = DEFAULT_SEED
         self.sk = paillier_keygen(bits, seed)
         self.pk = self.sk.public
-        self._rng = random.Random(None if seed is None else seed + 1)
+        self._rng = random.Random(seed + 1)
 
     # -- scalar operations --------------------------------------------------------
 
@@ -98,23 +108,25 @@ class Paillier:
             r = self._rng.randrange(1, n)
             if math.gcd(r, n) == 1:
                 break
-        # (n+1)^m = 1 + m*n (mod n^2) — the g = n+1 shortcut
-        return (1 + m_enc * n) % n2 * pow(r, n, n2) % n2
+        # (n+1)^m = 1 + m*n (mod n^2) — the g = n+1 shortcut.
+        # Arbitrary-precision Python ints: exact at any modulus width.
+        return (1 + m_enc * n) % n2 * pow(r, n, n2) % n2  # repro: noqa REPRO101
 
     def decrypt(self, c: int) -> int:
         """Decrypt to a centered signed integer."""
         n, n2 = self.pk.n, self.pk.n_squared
         x = pow(c, self.sk.lam, n2)
-        m = (x - 1) // n * self.sk.mu % n
+        # scalar Python-int arithmetic throughout: exact by construction
+        m = (x - 1) // n * self.sk.mu % n  # repro: noqa REPRO101
         return m - n if m > self.pk.half else m
 
     def add(self, c1: int, c2: int) -> int:
         """Homomorphic addition: ciphertext multiplication mod ``n²``."""
-        return c1 * c2 % self.pk.n_squared
+        return c1 * c2 % self.pk.n_squared  # repro: noqa REPRO101 (big ints)
 
     def add_plain(self, c: int, m: int) -> int:
         n, n2 = self.pk.n, self.pk.n_squared
-        return c * (1 + (m % n) * n) % n2
+        return c * (1 + (m % n) * n) % n2  # repro: noqa REPRO101 (big ints)
 
     def mul_plain(self, c: int, k: int) -> int:
         """Homomorphic plaintext multiplication: exponentiation mod ``n²``."""
@@ -133,7 +145,9 @@ class Paillier:
             raise ValueError("length mismatch")
         return [self.add(x, y) for x, y in zip(a, b)]
 
-    def matvec(self, matrix, ct_vector: List[int]) -> List[int]:
+    def matvec(
+        self, matrix: Sequence[Sequence[int]], ct_vector: List[int]
+    ) -> List[int]:
         """Homomorphic MVP: for each row, ``prod_j ct_j^(A_ij)``.
 
         This is the operation FATE performs per mini-batch, and the one

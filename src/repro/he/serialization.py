@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from .context import CheContext
 from .encoder import Plaintext
 from .lwe import LweCiphertext
 from .rlwe import RlweCiphertext
+
+if TYPE_CHECKING:  # typing-only: key deserializers import lazily below
+    from .keys import GaloisKeyset, KeySwitchKey, SecretKey
 
 __all__ = [
     "MAGIC",
@@ -207,7 +210,7 @@ _TYPE_KSK = 5
 _TYPE_GALOIS = 6
 
 
-def serialize_secret_key(sk) -> bytes:
+def serialize_secret_key(sk: "SecretKey") -> bytes:
     """Secret keys serialize as 2-bit-packed ternary coefficients."""
     signed = np.asarray(sk.signed, dtype=np.int64)
     n = signed.shape[0]
@@ -220,7 +223,7 @@ def serialize_secret_key(sk) -> bytes:
     return _header(_TYPE_SECRET, n, 0) + body
 
 
-def deserialize_secret_key(data: bytes):
+def deserialize_secret_key(data: bytes) -> "SecretKey":
     from .keys import SecretKey
 
     n, _limbs, off = _parse_header(data, _TYPE_SECRET)
@@ -232,7 +235,7 @@ def deserialize_secret_key(data: bytes):
     return SecretKey(signed)
 
 
-def serialize_keyswitch_key(ksk, moduli: Tuple[int, ...]) -> bytes:
+def serialize_keyswitch_key(ksk: "KeySwitchKey", moduli: Tuple[int, ...]) -> bytes:
     """Hybrid switching keys: NTT-domain limb stacks, bit-packed."""
     parts = []
     n = ksk.b_ntt[0].shape[1]
@@ -245,7 +248,7 @@ def serialize_keyswitch_key(ksk, moduli: Tuple[int, ...]) -> bytes:
     return head + b"".join(parts)
 
 
-def deserialize_keyswitch_key(data: bytes, ctx: CheContext):
+def deserialize_keyswitch_key(data: bytes, ctx: CheContext) -> "KeySwitchKey":
     from .keys import KeySwitchKey
 
     n, limb_count, off = _parse_header(data, _TYPE_KSK)
@@ -265,7 +268,9 @@ def deserialize_keyswitch_key(data: bytes, ctx: CheContext):
     return KeySwitchKey(b_ntt=b_parts, a_ntt=a_parts)
 
 
-def serialize_galois_keyset(keyset, moduli: Tuple[int, ...]) -> bytes:
+def serialize_galois_keyset(
+    keyset: "GaloisKeyset", moduli: Tuple[int, ...]
+) -> bytes:
     """Galois keysets: count-prefixed (element, ksk) records."""
     records = []
     for g in sorted(keyset.keys):
@@ -277,7 +282,7 @@ def serialize_galois_keyset(keyset, moduli: Tuple[int, ...]) -> bytes:
     return head + b"".join(records)
 
 
-def deserialize_galois_keyset(data: bytes, ctx: CheContext):
+def deserialize_galois_keyset(data: bytes, ctx: CheContext) -> "GaloisKeyset":
     from .keys import GaloisKeyset
 
     if data[:4] != MAGIC:

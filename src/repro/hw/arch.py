@@ -21,7 +21,6 @@ transform lanes (15 units) — 30 per engine, 60 in the two-engine design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
 
 __all__ = [
     "NttUnitConfig",

@@ -17,8 +17,8 @@ deployed CHAM — and ``(9 stages, 1 pack unit, 6 NTT, 8-PE NTT, 1 engine)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List
 
 from .arch import ChamConfig, EngineConfig, FpgaDevice, NttUnitConfig, VU9P
 from .pipeline import MacroPipeline

@@ -20,7 +20,7 @@ greedy :func:`auto_floorplan` shows the placement is essentially forced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .arch import ChamConfig, FpgaDevice, VU9P, cham_default_config
 from .resources import ResourceVector, engine_resources, platform_resources

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from .arch import ChamConfig, EngineConfig, cham_default_config
+from .arch import ChamConfig, cham_default_config
 
 __all__ = ["JobTraffic", "job_traffic", "StagingBuffer", "sustained_bandwidth"]
 

@@ -25,7 +25,7 @@ macro-pipeline units of thousands of cycles), not at FU granularity —
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..obs.metrics import REGISTRY as _METRICS

@@ -16,7 +16,7 @@ stay internally consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from .perf import ChamPerfModel, CpuCostModel, GpuCostModel

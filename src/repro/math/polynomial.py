@@ -86,7 +86,8 @@ def automorph_permutation(n: int, k: int) -> "tuple[np.ndarray, np.ndarray]":
     if k % 2 == 0:
         raise ValueError(f"automorphism index k={k} must be odd")
     k %= 2 * n
-    idx = (np.arange(n, dtype=np.int64) * k) % (2 * n)
+    # index arithmetic, not residues: values < 2n * n << 2**63
+    idx = (np.arange(n, dtype=np.int64) * k) % (2 * n)  # repro: noqa REPRO101
     dest = idx % n
     neg = idx >= n
     src = np.empty(n, dtype=np.int64)

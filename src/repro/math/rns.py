@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class RnsBasis:
     def __len__(self) -> int:
         return len(self.moduli)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.moduli)
 
     def drop_last(self) -> "RnsBasis":
@@ -112,7 +112,10 @@ class RnsBasis:
             raise ValueError("leading axis must index the RNS limbs")
         acc = np.zeros(residues.shape[1:], dtype=object)
         for i, q in enumerate(self.moduli):
-            weight = (self.punctured_inv[i] * self.punctured[i]) % self.product
+            # documented bigint oracle path: Python-int / object-dtype
+            # arithmetic, exact at any width
+            raw = self.punctured_inv[i] * self.punctured[i]
+            weight = raw % self.product
             acc = (acc + residues[i].astype(object) * weight) % self.product
         return acc
 
@@ -158,7 +161,10 @@ class RnsBasis:
         for t in targets:
             acc = np.zeros(residues.shape[1:], dtype=np.uint64)
             for i, q in enumerate(self.moduli):
-                acc = (acc + modmul_vec(ys[i] % np.uint64(t), np.uint64(self.punctured[i] % t), t)) % np.uint64(t)
+                term = modmul_vec(
+                    ys[i] % np.uint64(t), np.uint64(self.punctured[i] % t), t
+                )
+                acc = (acc + term) % np.uint64(t)
             correction = modmul_vec(
                 reduce_signed_vec(v, t), np.uint64(self.product % t), t
             )

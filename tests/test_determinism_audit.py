@@ -1,89 +1,92 @@
-"""Determinism audit (ISSUE 3 deflake satellite).
+"""Determinism audit, driven by the REPRO103 analysis rule.
 
-A meta-test that scans every test and benchmark module for randomness
-that is not explicitly seeded.  The suite's reproducibility story is
-"same checkout, same results"; a single ``default_rng()`` with no seed
-or a global ``np.random.*`` call quietly breaks that, and the flake
-only surfaces weeks later on an unrelated PR.  (Hypothesis strategies
-are exempt: hypothesis owns its own seeding and shrinking database.)
+A meta-test that scans the test suite, the benchmarks, *and* the
+library itself for randomness that is not explicitly seeded.  The
+reproducibility story is "same checkout, same results"; a single
+``default_rng()`` with no seed or a global ``np.random.*`` call quietly
+breaks that, and the flake only surfaces weeks later on an unrelated
+PR.
+
+Earlier revisions of this audit carried their own regex pattern table;
+it is now the :class:`repro.analysis.rules.UnseededRandomness` rule
+(REPRO103), shared with ``repro lint`` — one detector, three trees.
+REPRO103's default scope skips test files (tests may deliberately
+construct odd generators *as fixtures*), so the audit applies it with
+``respect_scope=False`` to extend the same discipline to this suite.
+(Hypothesis strategies are exempt by construction: hypothesis owns its
+own seeding and shrinking database, and its API never goes through the
+RNG constructors the rule looks for.)
 """
 
-import re
 from pathlib import Path
 
 import pytest
 
-TEST_ROOT = Path(__file__).parent
-BENCH_ROOT = TEST_ROOT.parent / "benchmarks"
+from repro.analysis import get_rules, lint_file, render_text
+from repro.analysis.core import SourceFile, iter_python_files
 
-#: forbidden patterns -> explanation
-FORBIDDEN = [
-    (
-        re.compile(r"default_rng\(\s*\)"),
-        "numpy Generator constructed without a seed",
-    ),
-    (
-        re.compile(r"random\.Random\(\s*\)"),
-        "stdlib Random constructed without a seed",
-    ),
-    (
-        re.compile(r"\bnp\.random\.(seed|rand|randn|randint|random|choice"
-                   r"|shuffle|permutation|normal|uniform|integers)\b"),
-        "numpy legacy global-state RNG (use a seeded default_rng instead)",
-    ),
-    (
-        re.compile(r"^\s*(?:from random import|import random\b)",
-                   re.MULTILINE),
-        "stdlib random module in tests (use a seeded np default_rng)",
-    ),
-    (
-        re.compile(r"default_rng\(\s*(?:time|os\.urandom|None)"),
-        "numpy Generator seeded from a non-deterministic source",
-    ),
-]
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TEST_ROOT = REPO_ROOT / "tests"
+BENCH_ROOT = REPO_ROOT / "benchmarks"
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+RULE = get_rules(["REPRO103"])
 
 
 def _source_files():
-    files = sorted(TEST_ROOT.glob("*.py")) + sorted(BENCH_ROOT.glob("*.py"))
+    files = iter_python_files([TEST_ROOT, BENCH_ROOT, SRC_ROOT])
     return [f for f in files if f.name != Path(__file__).name]
 
 
 def test_audit_finds_these_files():
     names = {f.name for f in _source_files()}
-    # sanity: the audit is actually looking at the suite
+    # sanity: the audit is actually looking at the suite and the library
     assert "conftest.py" in names
     assert "test_serve.py" in names
+    assert "context.py" in names
     assert len(names) > 10
 
 
 @pytest.mark.parametrize(
-    "path", _source_files(), ids=lambda p: str(p.relative_to(TEST_ROOT.parent))
+    "path", _source_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
 )
 def test_no_unseeded_randomness(path):
-    text = path.read_text()
-    violations = []
-    for pattern, why in FORBIDDEN:
-        for match in pattern.finditer(text):
-            line_no = text[: match.start()].count("\n") + 1
-            line = text.splitlines()[line_no - 1].strip()
-            violations.append(f"{path.name}:{line_no}: {why}\n    {line}")
-    assert not violations, (
-        "unseeded randomness in the test/benchmark suite:\n"
-        + "\n".join(violations)
+    src = SourceFile.from_path(path, root=REPO_ROOT)
+    # scope off: REPRO103 normally exempts test files, the audit does not
+    diags = lint_file(src, rules=RULE, respect_scope=False)
+    assert not diags, (
+        "unseeded randomness (REPRO103):\n" + render_text(diags)
     )
 
 
-def test_every_default_rng_call_passes_a_seed():
-    """Each ``default_rng(...)`` call site must pass *something* — a
-    literal, a named constant, or a parametrized ``seed`` variable.
-    (Whether that something is deterministic is covered by the pattern
-    scan above; this catches argument-less construction the regexes
-    might miss through odd spacing or line breaks.)"""
-    call = re.compile(r"default_rng\(\s*([^)]*?)\s*\)", re.DOTALL)
-    bad = []
-    for path in _source_files():
-        for match in call.finditer(path.read_text()):
-            arg = match.group(1).strip()
-            if not arg or arg == "None":
-                bad.append(f"{path.name}: default_rng({arg})")
-    assert not bad, "seedless generators:\n" + "\n".join(bad)
+def test_rule_catches_the_historical_shapes():
+    """The regex table this audit used to carry, as rule fixtures —
+    proof the engine swap lost no coverage."""
+    from repro.analysis import lint_source
+
+    historical = [
+        "rng = default_rng()",
+        "rng = np.random.default_rng()",
+        "rng = random.Random()",
+        "x = np.random.randint(0, 10)",
+        "np.random.seed(0)",
+        "x = random.random()",
+        "rng = default_rng(None)",
+        "rng = default_rng(int(time.time()))",
+        "rng = np.random.default_rng(os.urandom(8))",
+    ]
+    for snippet in historical:
+        diags = lint_source(snippet + "\n", rules=RULE)
+        assert [d.rule_id for d in diags] == ["REPRO103"], snippet
+
+
+def test_seeded_generators_pass():
+    from repro.analysis import lint_source
+
+    clean = (
+        "rng = np.random.default_rng(0)\n"
+        "rng2 = np.random.default_rng(seed)\n"
+        "rng3 = random.Random(0xC4A)\n"
+        "rng4 = default_rng(12345)\n"
+    )
+    assert lint_source(clean, rules=RULE) == []
