@@ -408,6 +408,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Sharded multi-node HMVP demo: scatter, fail over, gather exactly.
+
+    The acceptance shape the CI smoke step asserts on: every shard of
+    every request reaches a terminal outcome (zero dropped) even with
+    injected node hangs, and the gathered ciphertexts decrypt to the
+    exact ``A @ v`` — the cluster path is bit-identical to the
+    single-engine path, so correctness here is unconditional.
+    """
+    from repro import obs
+    from repro.cluster import ClusterConfig, ClusterExecutor
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+
+    reg = obs.enable_metrics()
+    params = toy_params(n=128, plain_bits=40)
+    scheme = BfvScheme(params, seed=args.seed, max_pack=params.n)
+    rng = np.random.default_rng(args.seed)
+    cols = args.cols if args.cols is not None else 2 * params.n
+    matrix = rng.integers(-40, 40, (args.rows, cols))
+    config = ClusterConfig(
+        nodes=args.nodes,
+        replication=args.replication,
+        max_retries=args.max_retries,
+        fault_rate=args.fault_rate,
+        register_flip_rate=args.register_flip_rate,
+        seed=args.seed,
+    )
+    executor = ClusterExecutor(scheme, matrix, config=config)
+    vectors = [rng.integers(-40, 40, cols) for _ in range(args.requests)]
+    requests = [executor.encrypt_vector(v) for v in vectors]
+    results = executor.execute_batch(requests)
+    half = params.plain_modulus // 2
+
+    def centered(values):
+        return [((int(v) + half) % params.plain_modulus) - half
+                for v in values]
+
+    correct = all(
+        centered(res.decrypt(scheme)[: args.rows])
+        == centered(matrix.astype(object) @ v.astype(object))
+        for res, v in zip(results, vectors)
+    )
+    report = executor.report()
+    ok = correct and report.dropped == 0
+    if args.json:
+        payload = report.to_dict()
+        payload["correct"] = correct
+        snap = reg.snapshot()
+        payload["counters"] = {
+            k: v for k, v in snap["counters"].items()
+            if k.startswith(("cluster.", "hw.runtime."))
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    plan = executor.plan
+    print(
+        f"cluster: {args.requests} requests x ({args.rows}x{cols}) matrix, "
+        f"{args.nodes} node(s) x{args.replication} replication, "
+        f"fault rate {args.fault_rate}"
+    )
+    print(
+        f"plan   : {len(plan.shards)} shard(s) "
+        f"({plan.row_bands} row band(s) x {plan.col_bands} column band(s)), "
+        f"ring {plan.ring_n}"
+    )
+    print(
+        f"status : executions={report.shard_executions} "
+        f"retries={report.shard_retries} "
+        f"rebalanced={report.rebalance_events} "
+        f"degraded={report.degraded_shards} dropped={report.dropped} "
+        f"correct={correct}"
+    )
+    print(
+        f"sim    : makespan {report.makespan_cycles:,} cycles, goodput "
+        f"{report.goodput_sim_rps:,.1f} req/s on the device clock, "
+        f"{report.speedup_vs_single_node:.2f}x vs one node, per-node busy "
+        f"{report.per_node_busy_cycles}"
+    )
+    for node in executor.nodes:
+        h = node.health()
+        print(
+            f"node{node.node_id}  : shards={node.shards_served} "
+            f"failed_attempts={h.jobs_failed} hangs={h.hangs_detected} "
+            f"resets={h.resets}"
+        )
+    return 0 if ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis: custom HE-aware rules, optionally ruff + mypy.
 
@@ -562,6 +651,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="dump the serve report + counters as JSON")
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster", help="sharded multi-node HMVP demo (scatter/gather)"
+    )
+    cluster.add_argument("--requests", type=int, default=8)
+    cluster.add_argument("--nodes", type=int, default=4)
+    cluster.add_argument("--replication", type=int, default=2)
+    cluster.add_argument("--rows", type=int, default=96)
+    cluster.add_argument("--cols", type=int, default=None,
+                         help="matrix columns (default: 2 ring tiles)")
+    cluster.add_argument("--fault-rate", type=float, default=0.0,
+                         help="node hang probability per shard offload")
+    cluster.add_argument("--register-flip-rate", type=float, default=0.0)
+    cluster.add_argument("--max-retries", type=int, default=1,
+                         help="extra passes over a shard's replica list")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--json", action="store_true",
+                         help="dump the cluster report + counters as JSON")
+    cluster.set_defaults(func=_cmd_cluster)
 
     lint = sub.add_parser(
         "lint", help="HE-aware static analysis (repro.analysis)"

@@ -1,0 +1,41 @@
+"""Sharded multi-engine HMVP cluster layer.
+
+One CHAM accelerator is one ``N``-row engine pass; this package scales
+the reproduction's serving story *out*: a cost-model-driven
+:class:`PartitionPlanner` tiles the matrix into shards, a
+:class:`ShardPlacement` maps shards (with replicas) onto K simulated
+accelerator nodes, and a :class:`ClusterExecutor` scatters encrypted
+requests, fails over around injected node hangs, and gathers partials
+into a result **bit-identical** to the unsharded engine's — the merge is
+exact modular addition of column-shard LWE stacks plus row-order
+concatenation through the same central pack.
+
+Entry points: ``repro cluster`` on the CLI,
+``benchmarks/bench_cluster.py`` for the scale-out numbers, and
+``docs/ARCHITECTURE.md`` section 9 for the partitioning algebra.
+"""
+
+from .executor import ClusterConfig, ClusterExecutor, ClusterReport, ShardOutcome
+from .partition import (
+    PartitionError,
+    PartitionPlan,
+    PartitionPlanner,
+    Shard,
+    balanced_cuts,
+)
+from .placement import ClusterNode, ShardPlacement, build_nodes
+
+__all__ = [
+    "PartitionError",
+    "Shard",
+    "PartitionPlan",
+    "PartitionPlanner",
+    "balanced_cuts",
+    "ClusterNode",
+    "ShardPlacement",
+    "build_nodes",
+    "ClusterConfig",
+    "ClusterExecutor",
+    "ClusterReport",
+    "ShardOutcome",
+]

@@ -1,0 +1,527 @@
+"""Scatter/compute/gather execution of HMVP requests across a cluster.
+
+:class:`ClusterExecutor` is the data path on top of the planning layer
+(:mod:`repro.cluster.partition`) and the node pool
+(:mod:`repro.cluster.placement`):
+
+* **scatter** — hoist each request's vector ciphertext tiles once (the
+  forward NTTs depend only on the ciphertext), then walk the shard grid:
+  each shard's offload is simulated on its primary node's RAS runtime
+  (register-descriptor load, job submit, one poll attempt);
+* **failover** — a :class:`~repro.hw.runtime.DeviceHangError` /
+  ``FAILED`` attempt reroutes the shard to the next replica
+  (``cluster.shard_retries`` / ``cluster.rebalance_events``), bounded by
+  the request deadline in *simulated* time; when every replica pass is
+  exhausted (or the deadline budget is), the shard **degrades** to the
+  CPU path — the functional result is identical, only the pricing
+  changes — so no request is ever dropped;
+* **gather** — column-shard partials merge with exact modular addition
+  (the LWE-level additive merge; valid because every shard rescaled the
+  same ciphertext-tile boundaries the unsharded path does), row bands
+  concatenate in row order, and the full stacked LWEs pack centrally
+  through :func:`repro.he.packing.pack_stacked_lwes` — the output RLWE
+  ciphertext is bit-identical to the unsharded engine's, per limb.
+
+The differential and metamorphic suites
+(``tests/test_cluster_differential.py`` /
+``tests/test_cluster_properties.py``) pin both halves of that claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from ..core.hmvp import HmvpOpCount, HmvpResult
+from ..he.bfv import BfvScheme
+from ..he.packing import pack_stacked_lwes
+from ..he.rlwe import RlweCiphertext
+from ..hw.arch import ChamConfig, cham_default_config
+from ..hw.perf import CpuCostModel
+from ..hw.runtime import DeviceHangError, FaultInjector, JobState, RegisterLoadError
+from ..math.modular import modadd_vec
+from .partition import PartitionError, PartitionPlan, PartitionPlanner, Shard
+from .placement import ClusterNode, ShardPlacement, build_nodes
+
+__all__ = [
+    "ClusterConfig",
+    "ShardOutcome",
+    "ClusterReport",
+    "ClusterExecutor",
+]
+
+#: shard-descriptor register file base (disjoint from the serve layer's)
+_REGISTER_BASE = 0x2000
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster policy knobs (defaults model a 4-node scale-out)."""
+
+    #: simulated accelerator nodes
+    nodes: int = 4
+    #: copies of every shard (1 = no failover capacity)
+    replication: int = 2
+    #: extra passes over a shard's replica list before degrading to CPU
+    max_retries: int = 1
+    #: per-request failover budget in *simulated* milliseconds
+    deadline_ms: float = 60_000.0
+    #: device hang probability per shard offload (per-node injectors
+    #: seeded ``seed + node_id``)
+    fault_rate: float = 0.0
+    register_flip_rate: float = 0.0
+    resets_to_recover: int = 1
+    seed: int = 0
+    #: rows per output pack of the gathered result; defaults to the ring
+    #: degree (the unsharded engine's tile structure)
+    tile_rows: Optional[int] = None
+
+
+@dataclass
+class ShardOutcome:
+    """How one shard of one request was served."""
+
+    shard_id: int
+    #: node that served it; ``None`` for the CPU-degraded path
+    node_id: Optional[int]
+    attempts: int = 1
+    rerouted: bool = False
+    degraded: bool = False
+    cycles: int = 0
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of an executor's lifetime (so far)."""
+
+    requests: int
+    rows: int
+    cols: int
+    nodes: int
+    replication: int
+    shards_per_request: int
+    shard_executions: int
+    shard_retries: int
+    rebalance_events: int
+    degraded_shards: int
+    per_node_busy_cycles: List[int]
+    cpu_fallback_cycles: int
+    clock_hz: float
+    estimated_single_node_cycles: int
+    plan: Dict[str, object] = field(default_factory=dict)
+    placement: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        """Shards with no terminal outcome — the invariant is zero."""
+        return self.requests * self.shards_per_request - self.shard_executions
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Busiest resource: the slowest node, or the CPU fallback lane."""
+        return max(
+            self.per_node_busy_cycles + [self.cpu_fallback_cycles], default=0
+        )
+
+    @property
+    def goodput_sim_rps(self) -> float:
+        """Requests retired per simulated second on the device clock."""
+        if self.makespan_cycles == 0 or self.requests == 0:
+            return 0.0
+        return self.requests / (self.makespan_cycles / self.clock_hz)
+
+    @property
+    def speedup_vs_single_node(self) -> float:
+        """Measured makespan vs the cost model's one-node serial bound."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.estimated_single_node_cycles / self.makespan_cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "rows": self.rows,
+            "cols": self.cols,
+            "nodes": self.nodes,
+            "replication": self.replication,
+            "shards_per_request": self.shards_per_request,
+            "shard_executions": self.shard_executions,
+            "shard_retries": self.shard_retries,
+            "rebalance_events": self.rebalance_events,
+            "degraded_shards": self.degraded_shards,
+            "dropped": self.dropped,
+            "per_node_busy_cycles": self.per_node_busy_cycles,
+            "cpu_fallback_cycles": self.cpu_fallback_cycles,
+            "makespan_cycles": self.makespan_cycles,
+            "goodput_sim_rps": self.goodput_sim_rps,
+            "estimated_single_node_cycles": self.estimated_single_node_cycles,
+            "speedup_vs_single_node": self.speedup_vs_single_node,
+            "plan": self.plan,
+            "placement": self.placement,
+        }
+
+
+class ClusterExecutor:
+    """Sharded multi-node HMVP with exact gather and failover.
+
+    Parameters
+    ----------
+    scheme:
+        The HE scheme (keys included; the central pack uses its Galois
+        keys exactly as the unsharded engine would).
+    matrix:
+        Arbitrary ``(rows, cols)`` plaintext matrix — unlike
+        :class:`~repro.core.batch.BatchedHmvp`, rows may exceed the ring
+        degree (row bands become separate shards, and the gathered packs
+        mirror the tiled reference's one-pack-per-ring-rows structure).
+    config:
+        Policy knobs; see :class:`ClusterConfig`.
+    plan / placement:
+        Explicit partition plan and shard placement (tests and the CLI
+        pass these; both default to the planner's cost-driven choice).
+    fault_injectors:
+        One per node, overriding the rate-derived defaults (scripted
+        hang sequences for deterministic failover tests).
+    """
+
+    def __init__(
+        self,
+        scheme: BfvScheme,
+        matrix: Sequence[Sequence[int]],
+        config: Optional[ClusterConfig] = None,
+        plan: Optional[PartitionPlan] = None,
+        placement: Optional[ShardPlacement] = None,
+        cham: Optional[ChamConfig] = None,
+        fault_injectors: Optional[Sequence[FaultInjector]] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.config = config or ClusterConfig()
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        self.matrix = matrix
+        self.rows, self.cols = (int(x) for x in matrix.shape)
+        self.cham = cham or cham_default_config()
+        ring = scheme.params.n
+        self.planner = PartitionPlanner(ring, engine=self.cham.engine)
+        if plan is None:
+            plan = self.planner.plan(
+                self.rows, self.cols, nodes=self.config.nodes
+            )
+        if (plan.rows, plan.cols) != (self.rows, self.cols):
+            raise PartitionError(
+                f"plan covers {plan.rows}x{plan.cols}, "
+                f"matrix is {self.rows}x{self.cols}"
+            )
+        if plan.ring_n != ring:
+            raise PartitionError(
+                f"plan ring degree {plan.ring_n} != scheme ring {ring}"
+            )
+        self.plan = plan
+        costs = self.planner.plan_cost_cycles(plan)
+        if placement is None:
+            placement = ShardPlacement.place(
+                plan,
+                nodes=self.config.nodes,
+                replication=min(self.config.replication, self.config.nodes),
+                shard_costs=costs,
+            )
+        placement.validate_against(plan)
+        self.placement = placement
+        self.nodes: List[ClusterNode] = build_nodes(
+            scheme,
+            matrix,
+            plan,
+            placement,
+            cham=self.cham,
+            fault_injectors=fault_injectors,
+            seed=self.config.seed,
+            fault_rate=self.config.fault_rate,
+            register_flip_rate=self.config.register_flip_rate,
+            resets_to_recover=self.config.resets_to_recover,
+        )
+        self._cpu_model = CpuCostModel()
+        self._single_node_cycles_per_request = sum(costs)
+        tile_rows = self.config.tile_rows or ring
+        if not 1 <= tile_rows <= ring:
+            raise PartitionError(
+                f"tile_rows {tile_rows} must be in 1..ring degree {ring}"
+            )
+        self._pack_tile_rows = tile_rows
+        # lifetime counters (report() snapshots these)
+        self.requests_served = 0
+        self.shard_executions = 0
+        self.shard_retries = 0
+        self.rebalance_events = 0
+        self.degraded_shards = 0
+        self.cpu_fallback_cycles = 0
+        obs.set_gauge("cluster.nodes", self.config.nodes)
+
+    # -- request plumbing --------------------------------------------------
+
+    def encrypt_vector(self, v: Sequence[int]) -> List[RlweCiphertext]:
+        """One augmented ciphertext per ring-wide tile of the vector."""
+        v = np.asarray(v)
+        if v.shape[0] != self.cols:
+            raise ValueError(
+                f"vector length {v.shape[0]} != matrix cols {self.cols}"
+            )
+        ring = self.scheme.params.n
+        return [
+            self.scheme.encrypt_vector(v[start : start + ring])
+            for start in range(0, self.cols, ring)
+        ]
+
+    def _normalize(
+        self, request: Union[RlweCiphertext, Sequence[RlweCiphertext]]
+    ) -> List[RlweCiphertext]:
+        tiles = (
+            [request] if isinstance(request, RlweCiphertext) else list(request)
+        )
+        if len(tiles) != self.plan.col_tiles:
+            raise ValueError(
+                f"need {self.plan.col_tiles} vector tiles for "
+                f"{self.cols} columns, got {len(tiles)}"
+            )
+        return tiles
+
+    # -- offload simulation ------------------------------------------------
+
+    def _attempt_offload(self, node: ClusterNode, shard: Shard) -> int:
+        """One offload attempt; returns device cycles or raises."""
+        runtime = node.runtime
+        runtime.load_register_checked(
+            _REGISTER_BASE + (shard.shard_id % 256),
+            (shard.rows << 16) | (shard.shard_id & 0xFFFF),
+        )
+        job_id = runtime.submit(
+            rows=shard.rows,
+            col_tiles=shard.col_tiles(self.plan.ring_n),
+        )
+        state = runtime.poll_once(job_id)
+        if state is not JobState.DONE:
+            raise DeviceHangError(
+                f"shard {shard.shard_id} attempt failed on node "
+                f"{node.node_id}"
+            )
+        return runtime.jobs[job_id].cycles
+
+    def _serve_shard(
+        self, shard: Shard, deadline_budget_ms: float
+    ) -> ShardOutcome:
+        """Offload with replica failover, then CPU degrade; never drops."""
+        hosted = self.placement.nodes_for(shard.shard_id)
+        primary = hosted[0]
+        col_tiles = shard.col_tiles(self.plan.ring_n)
+        clock = self.cham.clock_hz
+        spent_ms = 0.0
+        attempts = 0
+        for _pass in range(self.config.max_retries + 1):
+            for node_id in hosted:
+                node = self.nodes[node_id]
+                est_ms = (
+                    1e3 * node.runtime.estimate_cycles(shard.rows, col_tiles)
+                    / clock
+                )
+                if spent_ms + est_ms > deadline_budget_ms:
+                    # the next attempt cannot finish inside the request
+                    # deadline on the simulated clock: stop failing over
+                    break
+                attempts += 1
+                try:
+                    cycles = self._attempt_offload(node, shard)
+                except (DeviceHangError, RegisterLoadError):
+                    spent_ms += est_ms
+                    self.shard_retries += 1
+                    obs.inc("cluster.shard_retries")
+                    continue
+                node.shards_served += 1
+                rerouted = node_id != primary
+                if rerouted:
+                    self.rebalance_events += 1
+                    obs.inc("cluster.rebalance_events")
+                return ShardOutcome(
+                    shard_id=shard.shard_id,
+                    node_id=node_id,
+                    attempts=attempts,
+                    rerouted=rerouted,
+                    cycles=cycles,
+                )
+            else:
+                continue
+            break  # deadline budget exhausted
+        cpu_s = self._cpu_model.hmvp_s(
+            shard.rows, shard.cols, ring_n=self.plan.ring_n
+        )
+        cycles = int(cpu_s * clock)
+        self.degraded_shards += 1
+        self.cpu_fallback_cycles += cycles
+        obs.inc("cluster.degraded")
+        return ShardOutcome(
+            shard_id=shard.shard_id,
+            node_id=None,
+            attempts=attempts,
+            rerouted=True,
+            degraded=True,
+            cycles=cycles,
+        )
+
+    # -- the exact data path ----------------------------------------------
+
+    def _request_op_count(self) -> HmvpOpCount:
+        """Exact op mix of one gathered request (matches the unsharded
+        engine: the shard/merge structure changes *where* additions run,
+        never how many)."""
+        ring = self.plan.ring_n
+        limbs = len(self.scheme.ctx.ct_basis)
+        limbs_aug = limbs + 1
+        ops = HmvpOpCount()
+        for col_start in range(0, self.cols, ring):
+            width = min(ring, self.cols - col_start)
+            ops = ops + HmvpOpCount.for_cached_dot_products(
+                self.rows, width, limbs_aug
+            )
+        if self.plan.col_tiles > 1:
+            ops.lwe_additions += self.rows * (self.plan.col_tiles - 1)
+        for row_start in range(0, self.rows, self._pack_tile_rows):
+            count = min(self._pack_tile_rows, self.rows - row_start)
+            ops = ops + HmvpOpCount.for_pack(count, limbs, limbs_aug)
+        return ops
+
+    def _gather(
+        self,
+        partials: Dict[int, "Tuple[np.ndarray, np.ndarray]"],
+    ) -> HmvpResult:
+        """Merge shard partials exactly and pack centrally.
+
+        Column shards of one row band merge with per-limb modular
+        addition; row bands concatenate in row order.  Both are exact,
+        so the packed output is bit-identical to the unsharded path.
+        """
+        ctx = self.scheme.ctx
+        ct_basis = ctx.ct_basis
+        band_b: List[np.ndarray] = []
+        band_a: List[np.ndarray] = []
+        for rb in range(self.plan.row_bands):
+            acc_b: Optional[np.ndarray] = None
+            acc_a: Optional[np.ndarray] = None
+            for cb in range(self.plan.col_bands):
+                shard = self.plan.shard_at(rb, cb)
+                b, a = partials[shard.shard_id]
+                if acc_b is None:
+                    acc_b, acc_a = b, a
+                else:
+                    acc_b = np.stack(
+                        [
+                            modadd_vec(acc_b[i], b[i], q)
+                            for i, q in enumerate(ct_basis)
+                        ]
+                    )
+                    acc_a = np.stack(
+                        [
+                            modadd_vec(acc_a[i], a[i], q)
+                            for i, q in enumerate(ct_basis)
+                        ]
+                    )
+            band_b.append(acc_b)
+            band_a.append(acc_a)
+        full_b = np.concatenate(band_b, axis=1)
+        full_a = np.concatenate(band_a, axis=1)
+        packs = []
+        with obs.span("cluster.gather", rows=self.rows):
+            for start in range(0, self.rows, self._pack_tile_rows):
+                stop = min(start + self._pack_tile_rows, self.rows)
+                packs.append(
+                    pack_stacked_lwes(
+                        ctx,
+                        ct_basis,
+                        np.ascontiguousarray(full_b[:, start:stop]),
+                        np.ascontiguousarray(full_a[:, start:stop]),
+                        self.scheme.galois_keys,
+                    )
+                )
+        return HmvpResult(
+            packs=packs,
+            rows=self.rows,
+            cols=self.cols,
+            ops=self._request_op_count(),
+        )
+
+    def execute(
+        self,
+        request: Union[RlweCiphertext, Sequence[RlweCiphertext]],
+        deadline_ms: Optional[float] = None,
+    ) -> HmvpResult:
+        """Serve one encrypted request across the cluster.
+
+        ``request`` is a single augmented ciphertext (single-tile
+        matrices) or one ciphertext per ring-wide column tile.
+        """
+        ct_tiles = self._normalize(request)
+        budget_ms = (
+            deadline_ms if deadline_ms is not None else self.config.deadline_ms
+        )
+        obs.inc("cluster.requests")
+        with obs.span(
+            "cluster.request", shards=len(self.plan.shards)
+        ):
+            # hoist once per ciphertext tile; every shard touching that
+            # tile reuses the transform (the scatter payload is small)
+            with obs.span("cluster.scatter", tiles=len(ct_tiles)):
+                first = self.plan.shards[0].shard_id
+                host = self.nodes[self.placement.nodes_for(first)[0]]
+                hoisted = [host.engines[first].hoist(ct) for ct in ct_tiles]
+            partials: Dict[int, "Tuple[np.ndarray, np.ndarray]"] = {}
+            for shard in self.plan.shards:
+                outcome = self._serve_shard(shard, budget_ms)
+                self.shard_executions += 1
+                obs.inc("cluster.shard_executions")
+                serving_node = (
+                    outcome.node_id
+                    if outcome.node_id is not None
+                    else self.placement.nodes_for(shard.shard_id)[0]
+                )
+                engine = self.nodes[serving_node].engines[shard.shard_id]
+                t0, t1 = shard.tile_range(self.plan.ring_n)
+                partial_tiles = engine.multiply_partial(
+                    hoisted_tiles=hoisted[t0:t1]
+                )
+                partials[shard.shard_id] = partial_tiles[0]
+            result = self._gather(partials)
+        self.requests_served += 1
+        return result
+
+    def execute_batch(
+        self,
+        requests: Sequence[Union[RlweCiphertext, Sequence[RlweCiphertext]]],
+        deadline_ms: Optional[float] = None,
+    ) -> List[HmvpResult]:
+        """Serve a request list; every request reaches a terminal result."""
+        return [self.execute(req, deadline_ms=deadline_ms) for req in requests]
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> ClusterReport:
+        return ClusterReport(
+            requests=self.requests_served,
+            rows=self.rows,
+            cols=self.cols,
+            nodes=self.config.nodes,
+            replication=self.placement.replication,
+            shards_per_request=len(self.plan.shards),
+            shard_executions=self.shard_executions,
+            shard_retries=self.shard_retries,
+            rebalance_events=self.rebalance_events,
+            degraded_shards=self.degraded_shards,
+            per_node_busy_cycles=[n.busy_cycles for n in self.nodes],
+            cpu_fallback_cycles=self.cpu_fallback_cycles,
+            clock_hz=self.cham.clock_hz,
+            estimated_single_node_cycles=(
+                self._single_node_cycles_per_request * self.requests_served
+            ),
+            plan=self.plan.to_dict(),
+            placement=self.placement.to_dict(),
+        )

@@ -1,0 +1,189 @@
+"""Mapping shards onto simulated accelerator nodes, with replication.
+
+A :class:`ClusterNode` is one simulated accelerator host: an RAS runtime
+(:class:`repro.hw.runtime.FpgaRuntime` with its own fault injector), a
+per-node :class:`repro.core.batch.EncodedMatrixCache`, and one
+matrix-resident :class:`repro.core.batch.BatchedHmvp` engine per shard
+hosted there (primary or replica) — the same engine-pool shape
+:class:`repro.serve.HmvpServer` runs per process, scaled out to K
+processes.
+
+:class:`ShardPlacement` assigns every shard a primary node and
+``replication - 1`` replicas on distinct nodes.  Primaries are placed by
+LPT greedy (longest shard first onto the least-loaded node, the policy
+:class:`repro.cluster.partition.PartitionPlanner` estimates with);
+replicas go to the least-loaded nodes not already holding the shard.
+Replicas encode the shard into their node's cache at placement time, so
+failover never pays an encode on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.batch import BatchedHmvp, EncodedMatrixCache
+from ..he.bfv import BfvScheme
+from ..hw.arch import ChamConfig, cham_default_config
+from ..hw.runtime import FaultInjector, FpgaRuntime
+from .partition import PartitionError, PartitionPlan
+
+__all__ = ["ClusterNode", "ShardPlacement", "build_nodes"]
+
+
+@dataclass
+class ClusterNode:
+    """One simulated accelerator host in the cluster."""
+
+    node_id: int
+    runtime: FpgaRuntime
+    cache: EncodedMatrixCache
+    #: shard_id -> resident engine over that shard's submatrix
+    engines: Dict[int, BatchedHmvp] = field(default_factory=dict)
+    shards_served: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        return self.runtime.busy_cycles
+
+    def health(self):
+        return self.runtime.health()
+
+
+class ShardPlacement:
+    """Shard -> ``[primary, replica, ...]`` node assignment."""
+
+    def __init__(
+        self,
+        assignments: Dict[int, List[int]],
+        nodes: int,
+        replication: int,
+    ) -> None:
+        self.assignments = assignments
+        self.nodes = nodes
+        self.replication = replication
+
+    @classmethod
+    def place(
+        cls,
+        plan: PartitionPlan,
+        nodes: int,
+        replication: int,
+        shard_costs: Optional[Sequence[int]] = None,
+    ) -> "ShardPlacement":
+        """LPT-greedy primaries plus least-loaded distinct replicas."""
+        if nodes < 1:
+            raise PartitionError("need at least one node")
+        if not 1 <= replication <= nodes:
+            raise PartitionError(
+                f"replication {replication} must be in 1..nodes ({nodes})"
+            )
+        costs = (
+            list(shard_costs)
+            if shard_costs is not None
+            else [s.rows * max(s.col_tiles(plan.ring_n), 1) for s in plan.shards]
+        )
+        if len(costs) != len(plan.shards):
+            raise PartitionError("one cost per shard required")
+        loads = [0] * nodes
+        # replicas add standby load only; bias placement by primary load
+        assignments: Dict[int, List[int]] = {}
+        order = sorted(
+            range(len(plan.shards)), key=lambda i: costs[i], reverse=True
+        )
+        for idx in order:
+            primary = min(range(nodes), key=loads.__getitem__)
+            loads[primary] += costs[idx]
+            chosen = [primary]
+            while len(chosen) < replication:
+                replica = min(
+                    (n for n in range(nodes) if n not in chosen),
+                    key=loads.__getitem__,
+                )
+                chosen.append(replica)
+            assignments[plan.shards[idx].shard_id] = chosen
+        return cls(assignments, nodes=nodes, replication=replication)
+
+    def nodes_for(self, shard_id: int) -> List[int]:
+        return self.assignments[shard_id]
+
+    def node_shards(self, node_id: int) -> List[int]:
+        """Every shard hosted on a node (as primary or replica)."""
+        return sorted(
+            sid
+            for sid, hosted in self.assignments.items()
+            if node_id in hosted
+        )
+
+    def validate_against(self, plan: PartitionPlan) -> None:
+        shard_ids = {s.shard_id for s in plan.shards}
+        if set(self.assignments) != shard_ids:
+            raise PartitionError("placement does not cover every shard")
+        for sid, hosted in self.assignments.items():
+            if not hosted:
+                raise PartitionError(f"shard {sid} has no hosting node")
+            if len(set(hosted)) != len(hosted):
+                raise PartitionError(f"shard {sid} replicas not distinct")
+            if any(not 0 <= n < self.nodes for n in hosted):
+                raise PartitionError(f"shard {sid} names an unknown node")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "nodes": self.nodes,
+            "replication": self.replication,
+            "assignments": {
+                str(sid): hosted
+                for sid, hosted in sorted(self.assignments.items())
+            },
+        }
+
+
+def build_nodes(
+    scheme: BfvScheme,
+    matrix,
+    plan: PartitionPlan,
+    placement: ShardPlacement,
+    cham: Optional[ChamConfig] = None,
+    fault_injectors: Optional[Sequence[FaultInjector]] = None,
+    seed: int = 0,
+    fault_rate: float = 0.0,
+    register_flip_rate: float = 0.0,
+    resets_to_recover: int = 1,
+) -> List[ClusterNode]:
+    """Construct the node pool and stage every hosted shard's encoding.
+
+    One fault injector per node (explicit list or derived from the rate
+    knobs with per-node seeds); ``max_job_retries=0`` so a hang surfaces
+    as one FAILED attempt and the failover policy up in the executor —
+    reroute to a replica — is the only retry path, mirroring the serving
+    layer's division of labor.
+    """
+    cfg = cham or cham_default_config()
+    if fault_injectors is not None and len(fault_injectors) != placement.nodes:
+        raise PartitionError("one fault injector per node")
+    nodes: List[ClusterNode] = []
+    for node_id in range(placement.nodes):
+        if fault_injectors is not None:
+            faults = fault_injectors[node_id]
+        else:
+            faults = FaultInjector(
+                hang_prob=fault_rate,
+                register_flip_prob=register_flip_rate,
+                resets_to_recover=resets_to_recover,
+                seed=seed + node_id,
+            )
+        runtime = FpgaRuntime(cfg=cfg, faults=faults, max_job_retries=0)
+        nodes.append(
+            ClusterNode(
+                node_id=node_id,
+                runtime=runtime,
+                cache=EncodedMatrixCache(capacity=max(len(plan.shards), 1)),
+            )
+        )
+    for shard in plan.shards:
+        for node_id in placement.nodes_for(shard.shard_id):
+            node = nodes[node_id]
+            node.engines[shard.shard_id] = BatchedHmvp(
+                scheme, shard.submatrix(matrix), cache=node.cache
+            )
+    return nodes

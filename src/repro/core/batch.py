@@ -350,14 +350,18 @@ class BatchedHmvp:
             a[i, :, 1:] = modneg_vec(r1[i, :, :0:-1], q)
         return b, a
 
-    def _row_tile_pack(
+    def _row_tile_partial(
         self,
         rt: int,
         hoisted_tiles: Sequence["tuple[np.ndarray, np.ndarray]"],
-    ) -> PackedResult:
-        """One row tile of one request: partials -> aggregate -> pack."""
-        ctx = self.scheme.ctx
-        ct_basis = ctx.ct_basis
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """One row tile of one request: per-column-tile partials -> aggregate.
+
+        Returns the column-aggregated stacked LWEs ``(b (L, rows),
+        a (L, rows, n))`` for row tile ``rt`` — the merge payload the
+        cluster layer (:mod:`repro.cluster`) ships between nodes.
+        """
+        ct_basis = self.scheme.ctx.ct_basis
         agg_b: Optional[np.ndarray] = None
         agg_a: Optional[np.ndarray] = None
         for ct_idx in range(self.encoded.col_tiles):
@@ -374,9 +378,19 @@ class BatchedHmvp:
                 agg_a = np.stack(
                     [modadd_vec(agg_a[i], a[i], q) for i, q in enumerate(ct_basis)]
                 )
+        return agg_b, agg_a
+
+    def _row_tile_pack(
+        self,
+        rt: int,
+        hoisted_tiles: Sequence["tuple[np.ndarray, np.ndarray]"],
+    ) -> PackedResult:
+        """One row tile of one request: partials -> aggregate -> pack."""
+        ctx = self.scheme.ctx
+        agg_b, agg_a = self._row_tile_partial(rt, hoisted_tiles)
         with obs.span("batch.pack", rows=agg_b.shape[1], row_tile=rt):
             return pack_stacked_lwes(
-                ctx, ct_basis, agg_b, agg_a, self.scheme.galois_keys
+                ctx, ctx.ct_basis, agg_b, agg_a, self.scheme.galois_keys
             )
 
     def request_op_count(self) -> HmvpOpCount:
@@ -398,6 +412,63 @@ class BatchedHmvp:
         return ops
 
     # -- public entry points ---------------------------------------------------
+
+    def hoist(
+        self, ct: RlweCiphertext
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Public hoist: the per-request forward NTT of a vector ciphertext.
+
+        The hoisted components depend only on the ciphertext (not on the
+        resident matrix), so a caller fanning one request across several
+        engines — the cluster scatter path — computes them once and
+        passes them to every engine's :meth:`multiply_partial`.
+        """
+        return self._hoist(ct)
+
+    def multiply_partial(
+        self,
+        ct_tiles: Optional[Sequence[RlweCiphertext]] = None,
+        hoisted_tiles: Optional[
+            Sequence["tuple[np.ndarray, np.ndarray]"]
+        ] = None,
+    ) -> "List[tuple[np.ndarray, np.ndarray]]":
+        """Stages 1-4 only: stacked partial LWEs per row tile, unpacked.
+
+        Runs the hoisted dot/rescale/extract kernels and the per-engine
+        column-tile LWE aggregation but stops *before* PACKLWES,
+        returning ``(b (L, rows), a (L, rows, n))`` per row tile.  Every
+        per-row value is exactly what the packed path would consume, so
+        a caller may merge partials across shards (modular addition for
+        column shards, row-order concatenation for row shards) and pack
+        centrally — the resulting RLWE ciphertext is bit-identical to
+        the unsharded pipeline.  This is the scatter payload of
+        :mod:`repro.cluster`.
+
+        Pass either the vector ciphertext tiles or pre-hoisted
+        components (from :meth:`hoist`); hoisted wins when both given.
+        """
+        if hoisted_tiles is None:
+            if ct_tiles is None:
+                raise ValueError("need ct_tiles or hoisted_tiles")
+            if len(ct_tiles) != self.encoded.col_tiles:
+                raise ValueError(
+                    f"need {self.encoded.col_tiles} vector tiles for "
+                    f"{self.matrix.shape[1]} columns, got {len(ct_tiles)}"
+                )
+            hoisted_tiles = [self._hoist(ct) for ct in ct_tiles]
+        elif len(hoisted_tiles) != self.encoded.col_tiles:
+            raise ValueError(
+                f"need {self.encoded.col_tiles} hoisted tiles, "
+                f"got {len(hoisted_tiles)}"
+            )
+        obs.inc(
+            "core.hmvp.dot_products",
+            self.matrix.shape[0] * self.encoded.col_tiles,
+        )
+        return [
+            self._row_tile_partial(rt, hoisted_tiles)
+            for rt in range(self.encoded.row_tiles)
+        ]
 
     def multiply_tiles(
         self, ct_tiles: Sequence[RlweCiphertext]

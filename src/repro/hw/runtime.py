@@ -164,6 +164,15 @@ class VirtualFpga:
         self.registers[addr] = stored
         return stored
 
+    def estimate_cycles(self, rows: int, col_tiles: int = 1) -> int:
+        """Cycle cost of a job without executing it (no fault draws).
+
+        The cluster layer prices failover deadlines and partition plans
+        with this: it must match what :meth:`run_job` would charge, and
+        it must not advance the fault injector's RNG stream.
+        """
+        return self._pipeline.simulate_hmvp(rows, col_tiles).total_cycles
+
     def run_job(self, job: Job) -> int:
         """Execute a job; may hang (raises nothing — caller polls)."""
         if self.hung:
@@ -232,6 +241,10 @@ class FpgaRuntime:
         )
 
     # -- job lifecycle with watchdog ----------------------------------------------
+
+    def estimate_cycles(self, rows: int, col_tiles: int = 1) -> int:
+        """Price a job on this runtime's device without submitting it."""
+        return self.device.estimate_cycles(rows, col_tiles)
 
     def submit(self, rows: int, col_tiles: int = 1) -> int:
         """Queue an HMVP job; returns a job id."""

@@ -76,6 +76,7 @@ __all__ = [
     "inc",
     "set_gauge",
     "observe",
+    "counter_value",
 ]
 
 
@@ -95,3 +96,8 @@ def observe(name: str, value: float) -> None:
     """Record a histogram observation on the default registry."""
     if REGISTRY.enabled:
         REGISTRY.observe(name, value)
+
+
+def counter_value(name: str) -> int:
+    """Read a counter off the default registry (0 when never written)."""
+    return REGISTRY.counter_value(name)

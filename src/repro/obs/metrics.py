@@ -196,6 +196,16 @@ class MetricsRegistry:
 
     # -- introspection -------------------------------------------------------
 
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter, 0 when it was never incremented.
+
+        Read-side convenience for tests and report builders: asserting on
+        a counter must not create it as a side effect (``counter()``
+        would), and a never-touched counter reads as zero.
+        """
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Point-in-time dump of every instrument, JSON-serializable."""
         return {

@@ -209,10 +209,16 @@ class ServeReport:
         return sum(o.retries for o in self.outcomes)
 
     def latency_ms(self, p: float) -> float:
-        """Nearest-rank percentile of completed-request total latency."""
+        """Nearest-rank percentile of completed-request total latency.
+
+        With zero completed requests there is no population to take a
+        percentile of: the result is ``nan``, not a fake ``0.0`` that
+        would read as "instant" on a dashboard (and silently pass any
+        ``latency < threshold`` alert).
+        """
         lats = sorted(o.total_ms for o in self.outcomes if o.completed)
         if not lats:
-            return 0.0
+            return float("nan")
         rank = max(1, -(-int(p * len(lats)) // 100))
         return lats[min(rank, len(lats)) - 1]
 
@@ -251,10 +257,12 @@ class ServeReport:
             "engines": len(self.per_engine_busy_cycles),
             "wall_s": self.wall_s,
             "goodput_rps": self.goodput_rps,
+            # None (JSON null) when nothing completed: nan is not valid
+            # JSON and 0.0 is a lie
             "latency_ms": {
-                "p50": self.latency_ms(50),
-                "p95": self.latency_ms(95),
-                "p99": self.latency_ms(99),
+                "p50": self.latency_ms(50) if self.completed else None,
+                "p95": self.latency_ms(95) if self.completed else None,
+                "p99": self.latency_ms(99) if self.completed else None,
             },
             "sim": {
                 "per_engine_busy_cycles": self.per_engine_busy_cycles,

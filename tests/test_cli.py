@@ -129,3 +129,29 @@ def test_trace_trace_out(tmp_path, capsys):
     names = {e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"}
     assert any(n.startswith("DOTPRODUCT") for n in names)
     assert any(n.startswith("PACKTWOLWES") for n in names)
+
+
+def test_cluster(capsys):
+    assert main(
+        ["cluster", "--requests", "2", "--rows", "24", "--cols", "256",
+         "--nodes", "3", "--seed", "5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "dropped=0" in out
+    assert "correct=True" in out
+    assert "3 node(s)" in out
+
+
+def test_cluster_json_with_faults(capsys):
+    assert main(
+        ["cluster", "--requests", "3", "--rows", "24", "--cols", "256",
+         "--fault-rate", "0.2", "--seed", "9", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["correct"] is True
+    assert payload["dropped"] == 0
+    assert payload["shard_executions"] == 3 * payload["shards_per_request"]
+    assert payload["counters"]["cluster.requests"] == 3
+    # the plan and placement travel with the report for auditability
+    assert payload["plan"]["rows"] == 24
+    assert payload["placement"]["replication"] == 2

@@ -21,6 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cluster import ClusterConfig, ClusterExecutor, PartitionPlanner
 from repro.core.hmvp import hmvp
 from repro.he.bfv import BfvScheme
 from repro.he.params import toy_params
@@ -31,6 +32,14 @@ VECTOR_FILE = Path(__file__).parent / "vectors" / "hmvp_golden.json"
 SCHEME_SEED = 0x601D  # pinned: changing it invalidates the golden file
 DATA_SEED = 0x601D1
 ROWS, COLS = 6, 128
+
+# cluster-path golden run (ISSUE 5): same pinned scheme seed, its own
+# data seed and a mixed row x column shard grid so the scatter, the
+# additive merge, and the central pack are all on the frozen path
+CLUSTER_DATA_SEED = 0x601D2
+CLUSTER_ROWS, CLUSTER_COLS = 10, 256
+CLUSTER_ROW_CUTS = (0, 6, 10)
+CLUSTER_COL_CUTS = (0, 128, 256)
 
 
 def _build():
@@ -86,6 +95,67 @@ def _generate():
     }
 
 
+def _build_cluster():
+    """A fresh scheme per generation keeps the legacy section's RNG
+    streams untouched — the cluster run never perturbs the old digests."""
+    scheme = BfvScheme(
+        toy_params(n=COLS, plain_bits=40), seed=SCHEME_SEED, max_pack=COLS
+    )
+    rng = np.random.default_rng(CLUSTER_DATA_SEED)
+    matrix = rng.integers(-100, 100, (CLUSTER_ROWS, CLUSTER_COLS))
+    vector = rng.integers(-100, 100, CLUSTER_COLS)
+    return scheme, matrix, vector
+
+
+def _generate_cluster():
+    scheme, matrix, vector = _build_cluster()
+    plan = PartitionPlanner(COLS).plan_from_cuts(
+        CLUSTER_ROWS, CLUSTER_COLS, CLUSTER_ROW_CUTS, CLUSTER_COL_CUTS
+    )
+    executor = ClusterExecutor(
+        scheme,
+        matrix,
+        config=ClusterConfig(nodes=3, replication=2, seed=0),
+        plan=plan,
+    )
+    ct_tiles = executor.encrypt_vector(vector)
+    result = executor.execute(ct_tiles)
+    products = result.decrypt(scheme)[:CLUSTER_ROWS]
+    return {
+        "description": (
+            "Pinned-seed cluster-path golden run: same scheme seed, data "
+            "seed 0x601D2, 10x256 matrix sharded 2x2 (row cuts 0/6/10, "
+            "column cut at the 128-coefficient tile boundary) over 3 "
+            "nodes — freezes scatter, additive merge, and central pack."
+        ),
+        "params": {
+            "n": COLS,
+            "plain_bits": 40,
+            "scheme_seed": SCHEME_SEED,
+            "data_seed": CLUSTER_DATA_SEED,
+            "rows": CLUSTER_ROWS,
+            "cols": CLUSTER_COLS,
+            "row_cuts": list(CLUSTER_ROW_CUTS),
+            "col_cuts": list(CLUSTER_COL_CUTS),
+            "nodes": 3,
+            "replication": 2,
+        },
+        "matrix": matrix.tolist(),
+        "vector": vector.tolist(),
+        "expected_products": [int(x) for x in products],
+        "input_ct_digests": [
+            d for ct in ct_tiles for d in _limb_digests(ct)
+        ],
+        "result_ct_digests": _limb_digests(result.packs[0].ct),
+    }
+
+
+def _generate_all():
+    payload = _generate()
+    payload["cluster"] = _generate_cluster()
+    return payload
+
+
 def _load():
     with VECTOR_FILE.open() as fh:
         return json.load(fh)
@@ -130,9 +200,49 @@ def test_golden_digest_shape():
         assert len(entry["sha256"]) == 64
 
 
+def test_cluster_golden_inputs_regenerate_identically():
+    _scheme, matrix, vector = _build_cluster()
+    golden = _load()["cluster"]
+    assert golden["params"]["scheme_seed"] == SCHEME_SEED
+    assert golden["params"]["data_seed"] == CLUSTER_DATA_SEED
+    assert matrix.tolist() == golden["matrix"]
+    assert vector.tolist() == golden["vector"]
+
+
+def test_cluster_golden_products_are_the_true_dot_products():
+    golden = _load()["cluster"]
+    matrix = np.array(golden["matrix"], dtype=object)
+    vector = np.array(golden["vector"], dtype=object)
+    t = toy_params(n=COLS, plain_bits=40).plain_modulus
+    half = t // 2
+    centered = [((int(x) + half) % t) - half for x in matrix @ vector]
+    assert centered == golden["expected_products"]
+
+
+def test_cluster_golden_replay_matches_products_and_digests():
+    """The sharded scatter/merge/pack path replays bit-identically from
+    the pinned seeds — drift in the partition, placement, or gather
+    algebra lands here before it lands in production traffic."""
+    golden = _load()["cluster"]
+    fresh = _generate_cluster()
+    assert fresh["expected_products"] == golden["expected_products"]
+    assert fresh["input_ct_digests"] == golden["input_ct_digests"]
+    assert fresh["result_ct_digests"] == golden["result_ct_digests"]
+
+
+def test_cluster_golden_digest_shape():
+    """Two augmented input tiles (q0, q1, p each) and one rescaled
+    result pack (q0, q1)."""
+    golden = _load()["cluster"]
+    assert len(golden["input_ct_digests"]) == 2 * 2 * 3
+    assert len(golden["result_ct_digests"]) == 2 * 2
+    for entry in golden["input_ct_digests"] + golden["result_ct_digests"]:
+        assert len(entry["sha256"]) == 64
+
+
 if __name__ == "__main__":
     if "--regen" not in sys.argv:
         sys.exit("refusing to overwrite golden vectors without --regen")
     VECTOR_FILE.parent.mkdir(parents=True, exist_ok=True)
-    VECTOR_FILE.write_text(json.dumps(_generate(), indent=2) + "\n")
+    VECTOR_FILE.write_text(json.dumps(_generate_all(), indent=2) + "\n")
     print(f"wrote {VECTOR_FILE}")

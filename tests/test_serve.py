@@ -6,6 +6,8 @@ deadline), under every injected fault pattern.
 """
 
 import asyncio
+import json
+import math
 
 import numpy as np
 import pytest
@@ -252,6 +254,38 @@ def test_empty_run_report():
         per_engine_busy_cycles=[], clock_hz=300e6,
         config=ServeConfig(),
     )
-    assert rep.latency_ms(95) == 0.0
     assert rep.goodput_sim_rps == 0.0
     assert rep.dropped == 0
+
+
+def test_empty_run_percentiles_are_not_zero():
+    """Regression: with zero completed requests the percentiles used to
+    report a fake 0.0 ms — "instant", passing any latency alert.  An
+    empty population has no percentile: ``latency_ms`` returns NaN and
+    ``to_dict`` emits JSON null."""
+    rep = ServeReport(
+        outcomes=[], wall_s=0.0, engine_health=[],
+        per_engine_busy_cycles=[], clock_hz=300e6,
+        config=ServeConfig(),
+    )
+    for p in (50, 95, 99):
+        assert math.isnan(rep.latency_ms(p))
+    payload = rep.to_dict()
+    assert payload["latency_ms"] == {"p50": None, "p95": None, "p99": None}
+    # the payload must stay strict-JSON round-trippable (nan is not JSON)
+    assert json.loads(
+        json.dumps(payload, allow_nan=False)
+    )["latency_ms"]["p95"] is None
+
+
+def test_completed_run_percentiles_still_numeric(scheme128, matrix8):
+    """The guard only fires on the empty population: a normal run keeps
+    real numbers in both the accessor and the JSON payload."""
+    config = ServeConfig(engines=1, queue_capacity=8, seed=3)
+    vectors = [np.arange(128) % 7, np.ones(128, dtype=np.int64)]
+    cts = [scheme128.encrypt_vector(v) for v in vectors]
+    report = serve_requests(scheme128, matrix8, cts, config)
+    assert report.completed == 2
+    p95 = report.latency_ms(95)
+    assert p95 > 0 and not math.isnan(p95)
+    assert report.to_dict()["latency_ms"]["p95"] == p95
