@@ -21,6 +21,7 @@ import pytest
 
 from repro.he.bfv import BfvScheme
 from repro.he.params import toy_params
+from repro.obs.perfcheck import run_metadata
 
 #: where record_result() writes; override with BENCH_RESULTS_DIR
 RESULTS_DIR = os.environ.get(
@@ -31,9 +32,13 @@ RESULTS_DIR = os.environ.get(
 def record_result(name, metrics, params=None):
     """Append one benchmark record to ``BENCH_<name>.json``.
 
-    Each file is a JSON array of ``{"params", "metrics", "timestamp"}``
-    records, one appended per run, so successive runs can be diffed or
-    plotted without re-running the sweep.  Returns the file path.
+    Each file is a JSON array of ``{"params", "metrics", "timestamp",
+    "meta"}`` records, one appended per run, so successive runs can be
+    diffed or plotted without re-running the sweep.  ``meta`` carries
+    the machine annotation (git SHA, UTC timestamp, hostname,
+    python/numpy versions) the ``repro perfcheck`` gate reports, so a
+    regression is attributable to a commit and a runner.  Returns the
+    file path.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
@@ -46,6 +51,7 @@ def record_result(name, metrics, params=None):
             "params": params or {},
             "metrics": metrics,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "meta": run_metadata(os.path.dirname(os.path.dirname(__file__))),
         }
     )
     with open(path, "w") as fh:

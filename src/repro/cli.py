@@ -28,7 +28,15 @@ Gives a downstream user the zero-code tour:
 ``lint``
     run the HE-aware static-analysis rules (``repro.analysis``) over
     ``src/repro`` or the given paths; ``--ci`` additionally runs ruff
-    and mypy (skipped gracefully when not installed) as the merge gate.
+    and mypy (skipped gracefully when not installed) as the merge gate;
+``profile``
+    run the kernel profiler over a warm batched HMVP and print the
+    sim-gap ledger (wall microseconds per kernel joined against the
+    macro-pipeline cycle model) plus optional Chrome-trace,
+    collapsed-stack and OpenMetrics exports;
+``perfcheck``
+    compare the latest benchmark records against the pinned floors in
+    ``benchmarks/floors.json`` — the CI perf-regression gate.
 
 ``demo``, ``trace`` and ``report`` additionally accept
 ``--trace-out FILE`` to dump a Chrome-trace-format span file, loadable
@@ -546,6 +554,82 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if diags else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Kernel profiler: trace a warm batched run, print the sim-gap ledger.
+
+    Exit code 0 requires the ledger to attribute >= 95% of the measured
+    wall time to named kernel buckets — the same bar the test suite
+    holds, so CI can smoke the profiler end to end.
+    """
+    from repro import obs
+    from repro.obs.profile import (
+        collapsed_stacks,
+        openmetrics_text,
+        profile_batched_hmvp,
+    )
+
+    reg = obs.enable_metrics()
+    run = profile_batched_hmvp(
+        rows=args.rows, batch=args.batch, seed=args.seed
+    )
+    ledger = run.ledger
+    if args.trace_out:
+        obs.TRACER.export_chrome_trace(args.trace_out)
+    if args.collapsed_out:
+        with open(args.collapsed_out, "w") as fh:
+            fh.write(collapsed_stacks(run.spans))
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(openmetrics_text(reg))
+    ok = ledger.coverage >= 0.95
+    if args.json:
+        payload = ledger.to_dict()
+        payload["ok"] = ok
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    print(
+        f"profile: warm batched HMVP, {args.rows}x128 matrix, "
+        f"batch {args.batch} ({run.wall_s * 1e3:.1f} ms measured)"
+    )
+    print(ledger.render_text())
+    for name, path in (
+        ("trace", args.trace_out),
+        ("collapsed stacks", args.collapsed_out),
+        ("openmetrics", args.metrics_out),
+    ):
+        if path:
+            print(f"{name} written to {path}")
+    if not ok:
+        print(f"FAIL: coverage {ledger.coverage:.1%} below the 95% bar")
+    return 0 if ok else 1
+
+
+def _cmd_perfcheck(args: argparse.Namespace) -> int:
+    """Perf-regression gate: latest bench records vs the pinned floors."""
+    import os
+
+    from repro.analysis import repo_root
+    from repro.obs.perfcheck import check_floors
+
+    root = repo_root()
+    results = args.results or os.environ.get(
+        "BENCH_RESULTS_DIR", str(root / "benchmarks" / "results")
+    )
+    floors = args.floors or str(root / "benchmarks" / "floors.json")
+    report = check_floors(results, floors)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+        for bench, meta in sorted(report.metadata.items()):
+            print(
+                f"  {bench}: commit {meta.get('git_sha', 'unknown')[:12]} "
+                f"@ {meta.get('timestamp_utc', '?')} "
+                f"on {meta.get('hostname', '?')}"
+            )
+    return 0 if report.passed else 1
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     from repro.hw.dse import enumerate_design_space, pareto_front
 
@@ -688,6 +772,34 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    profile = sub.add_parser(
+        "profile", help="kernel profiler + sim-gap ledger (warm batched run)"
+    )
+    profile.add_argument("--rows", type=int, default=8)
+    profile.add_argument("--batch", type=int, default=8)
+    profile.add_argument("--seed", type=int, default=11)
+    profile.add_argument("--json", action="store_true",
+                         help="dump the ledger as JSON")
+    profile.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="write the measured run as a Chrome trace")
+    profile.add_argument("--collapsed-out", metavar="FILE", default=None,
+                         help="write collapsed stacks (flamegraph input)")
+    profile.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write the metrics registry as OpenMetrics text")
+    profile.set_defaults(func=_cmd_profile)
+
+    perfcheck = sub.add_parser(
+        "perfcheck", help="compare bench records against pinned perf floors"
+    )
+    perfcheck.add_argument("--results", metavar="DIR", default=None,
+                           help="bench results dir (default: "
+                                "$BENCH_RESULTS_DIR or benchmarks/results)")
+    perfcheck.add_argument("--floors", metavar="FILE", default=None,
+                           help="pinned floors (default: benchmarks/floors.json)")
+    perfcheck.add_argument("--json", action="store_true",
+                           help="dump the report as JSON")
+    perfcheck.set_defaults(func=_cmd_perfcheck)
     return parser
 
 

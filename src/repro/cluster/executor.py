@@ -258,6 +258,7 @@ class ClusterExecutor:
         self.rebalance_events = 0
         self.degraded_shards = 0
         self.cpu_fallback_cycles = 0
+        self._lanes_named = False
         obs.set_gauge("cluster.nodes", self.config.nodes)
 
     # -- request plumbing --------------------------------------------------
@@ -319,6 +320,9 @@ class ClusterExecutor:
         clock = self.cham.clock_hz
         spent_ms = 0.0
         attempts = 0
+        # the first attempt's span id: every reroute/degrade span links
+        # back to it, so the exported trace connects the failover chain
+        first_attempt_sid = ""
         for _pass in range(self.config.max_retries + 1):
             for node_id in hosted:
                 node = self.nodes[node_id]
@@ -331,32 +335,50 @@ class ClusterExecutor:
                     # deadline on the simulated clock: stop failing over
                     break
                 attempts += 1
-                try:
-                    cycles = self._attempt_offload(node, shard)
-                except (DeviceHangError, RegisterLoadError):
-                    spent_ms += est_ms
-                    self.shard_retries += 1
-                    obs.inc("cluster.shard_retries")
-                    continue
-                node.shards_served += 1
-                rerouted = node_id != primary
-                if rerouted:
-                    self.rebalance_events += 1
-                    obs.inc("cluster.rebalance_events")
-                return ShardOutcome(
-                    shard_id=shard.shard_id,
-                    node_id=node_id,
-                    attempts=attempts,
-                    rerouted=rerouted,
-                    cycles=cycles,
-                )
+                with obs.span(
+                    "cluster.shard.attempt",
+                    pid=node_id + 1,
+                    links=(first_attempt_sid,) if first_attempt_sid else None,
+                    shard=shard.shard_id,
+                    node=node_id,
+                    attempt=attempts,
+                ) as attempt_span:
+                    if not first_attempt_sid:
+                        first_attempt_sid = attempt_span.span_id
+                    try:
+                        cycles = self._attempt_offload(node, shard)
+                    except (DeviceHangError, RegisterLoadError):
+                        attempt_span.set(outcome="hang")
+                        spent_ms += est_ms
+                        self.shard_retries += 1
+                        obs.inc("cluster.shard_retries")
+                        continue
+                    node.shards_served += 1
+                    rerouted = node_id != primary
+                    if rerouted:
+                        self.rebalance_events += 1
+                        obs.inc("cluster.rebalance_events")
+                    attempt_span.set(outcome="ok", rerouted=rerouted)
+                    return ShardOutcome(
+                        shard_id=shard.shard_id,
+                        node_id=node_id,
+                        attempts=attempts,
+                        rerouted=rerouted,
+                        cycles=cycles,
+                    )
             else:
                 continue
             break  # deadline budget exhausted
-        cpu_s = self._cpu_model.hmvp_s(
-            shard.rows, shard.cols, ring_n=self.plan.ring_n
-        )
-        cycles = int(cpu_s * clock)
+        with obs.span(
+            "cluster.shard.degrade",
+            links=(first_attempt_sid,) if first_attempt_sid else None,
+            shard=shard.shard_id,
+            attempts=attempts,
+        ):
+            cpu_s = self._cpu_model.hmvp_s(
+                shard.rows, shard.cols, ring_n=self.plan.ring_n
+            )
+            cycles = int(cpu_s * clock)
         self.degraded_shards += 1
         self.cpu_fallback_cycles += cycles
         obs.inc("cluster.degraded")
@@ -465,8 +487,18 @@ class ClusterExecutor:
             deadline_ms if deadline_ms is not None else self.config.deadline_ms
         )
         obs.inc("cluster.requests")
+        if obs.TRACER.enabled and not self._lanes_named:
+            obs.TRACER.name_process(0, "cluster.coordinator")
+            for node in self.nodes:
+                obs.TRACER.name_process(node.node_id + 1, f"node{node.node_id}")
+            self._lanes_named = True
+        # each request is one trace: reuse the ambient context when a
+        # caller (the serving layer) already minted one, else mint here
+        req_ctx = obs.current_context()
+        if req_ctx is None and obs.TRACER.enabled:
+            req_ctx = obs.TRACER.new_trace()
         with obs.span(
-            "cluster.request", shards=len(self.plan.shards)
+            "cluster.request", ctx=req_ctx, shards=len(self.plan.shards)
         ):
             # hoist once per ciphertext tile; every shard touching that
             # tile reuses the transform (the scatter payload is small)
@@ -486,9 +518,19 @@ class ClusterExecutor:
                 )
                 engine = self.nodes[serving_node].engines[shard.shard_id]
                 t0, t1 = shard.tile_range(self.plan.ring_n)
-                partial_tiles = engine.multiply_partial(
-                    hoisted_tiles=hoisted[t0:t1]
-                )
+                # the functional kernels run "on" the serving node: pin
+                # their spans (and the kernels' children, which inherit
+                # the lane through the context) to that node's pid lane
+                with obs.span(
+                    "cluster.shard.compute",
+                    pid=serving_node + 1,
+                    shard=shard.shard_id,
+                    node=serving_node,
+                    degraded=outcome.degraded,
+                ):
+                    partial_tiles = engine.multiply_partial(
+                        hoisted_tiles=hoisted[t0:t1]
+                    )
                 partials[shard.shard_id] = partial_tiles[0]
             result = self._gather(partials)
         self.requests_served += 1

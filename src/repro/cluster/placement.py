@@ -172,7 +172,10 @@ def build_nodes(
                 resets_to_recover=resets_to_recover,
                 seed=seed + node_id,
             )
-        runtime = FpgaRuntime(cfg=cfg, faults=faults, max_job_retries=0)
+        # lane = node_id + 1: pid 0 stays the coordinator's lane in traces
+        runtime = FpgaRuntime(
+            cfg=cfg, faults=faults, max_job_retries=0, lane=node_id + 1
+        )
         nodes.append(
             ClusterNode(
                 node_id=node_id,

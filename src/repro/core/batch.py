@@ -329,25 +329,28 @@ class BatchedHmvp:
         c0n, c1n = hoisted
         rows = tile_ntt.shape[1]
         with obs.span("batch.dot", rows=rows):
-            prods = [
-                np.stack(
-                    [
-                        modmul_vec(tile_ntt[i], comp[i][None, :], q)
-                        for i, q in enumerate(aug)
-                    ]
-                )
-                for comp in (c0n, c1n)
-            ]
-            d0, d1 = (ctx.intt_limbs(p, aug) for p in prods)
-            r0 = aug.rescale_last(d0)
-            r1 = aug.rescale_last(d1)
-        # vectorized EXTRACTLWES at index 0: b = c0[..0];
-        # a[0] = c1[..0], a[j] = -c1[..n-j] for j >= 1
-        b = np.ascontiguousarray(r0[:, :, 0])
-        a = np.empty_like(r1)
-        a[..., 0] = r1[..., 0]
-        for i, q in enumerate(ct_basis):
-            a[i, :, 1:] = modneg_vec(r1[i, :, :0:-1], q)
+            with obs.span("batch.modmul", rows=rows, limbs=len(aug)):
+                prods = [
+                    np.stack(
+                        [
+                            modmul_vec(tile_ntt[i], comp[i][None, :], q)
+                            for i, q in enumerate(aug)
+                        ]
+                    )
+                    for comp in (c0n, c1n)
+                ]
+            with obs.span("batch.intt", rows=rows, limbs=len(aug)):
+                d0, d1 = (ctx.intt_limbs(p, aug) for p in prods)
+            with obs.span("batch.rescale_extract", rows=rows):
+                r0 = aug.rescale_last(d0)
+                r1 = aug.rescale_last(d1)
+                # vectorized EXTRACTLWES at index 0: b = c0[..0];
+                # a[0] = c1[..0], a[j] = -c1[..n-j] for j >= 1
+                b = np.ascontiguousarray(r0[:, :, 0])
+                a = np.empty_like(r1)
+                a[..., 0] = r1[..., 0]
+                for i, q in enumerate(ct_basis):
+                    a[i, :, 1:] = modneg_vec(r1[i, :, :0:-1], q)
         return b, a
 
     def _row_tile_partial(
@@ -527,11 +530,17 @@ class BatchedHmvp:
                 for rt in range(self.encoded.row_tiles)
             ]
             if pool_width > 1 and len(tasks) > 1:
+                # pool threads do not inherit the contextvar, so carry
+                # the batch's trace context across the executor hop
+                batch_ctx = obs.current_context()
                 with ThreadPoolExecutor(max_workers=pool_width) as pool:
                     packed = list(
                         pool.map(
-                            lambda task: self._row_tile_pack(
-                                task[1], [hoisted[task[0]]]
+                            lambda task: obs.run_with_context(
+                                batch_ctx,
+                                self._row_tile_pack,
+                                task[1],
+                                [hoisted[task[0]]],
                             ),
                             tasks,
                         )
@@ -555,6 +564,7 @@ class BatchedHmvp:
         self,
         request_ids: Sequence[int],
         batch_id: Optional[int] = None,
+        ctxs: Optional[Sequence[Optional[obs.TraceContext]]] = None,
     ) -> List[Job]:
         """Simulator jobs for a batch: one per ``(request, row tile)``.
 
@@ -562,9 +572,12 @@ class BatchedHmvp:
         serving layer (:mod:`repro.serve`): every consumer prices a
         drained batch with identical job shapes, so scheduler reports
         and RAS accounting are comparable across entry points.
+        ``ctxs`` (parallel to ``request_ids``) tags each request's jobs
+        with its trace context so runtime attempt spans join the trace.
         """
         jobs = []
-        for rid in request_ids:
+        for idx, rid in enumerate(request_ids):
+            ctx = ctxs[idx] if ctxs is not None else None
             for rt in range(self.encoded.row_tiles):
                 jobs.append(
                     Job(
@@ -572,6 +585,7 @@ class BatchedHmvp:
                         rows=self.encoded.row_tile_rows(rt),
                         col_tiles=self.encoded.col_tiles,
                         batch_id=batch_id,
+                        ctx=ctx,
                     )
                 )
         return jobs
@@ -620,7 +634,9 @@ class BatchQueue:
         #: called with each non-empty drain's report (metrics export,
         #: serving-layer completion hooks)
         self.on_drain = on_drain
-        self._pending: List[Tuple[int, RlweCiphertext]] = []
+        self._pending: List[
+            Tuple[int, RlweCiphertext, Optional[obs.TraceContext]]
+        ] = []
         self._next_request = 0
         self._next_batch = 0
 
@@ -628,13 +644,22 @@ class BatchQueue:
     def depth(self) -> int:
         return len(self._pending)
 
-    def submit(self, ct_v: RlweCiphertext) -> int:
-        """Enqueue one encrypted vector; returns its request id."""
+    def submit(
+        self, ct_v: RlweCiphertext, ctx: Optional[obs.TraceContext] = None
+    ) -> int:
+        """Enqueue one encrypted vector; returns its request id.
+
+        Each request gets a trace context — the one passed in (a serving
+        layer that already minted a trace root), the ambient one, or a
+        fresh root — so its simulator jobs are attributable end to end.
+        """
         if not ct_v.is_augmented:
             raise ValueError("vector ciphertext must be augmented")
+        if ctx is None and obs.TRACER.enabled:
+            ctx = obs.current_context() or obs.TRACER.new_trace()
         request_id = self._next_request
         self._next_request += 1
-        self._pending.append((request_id, ct_v))
+        self._pending.append((request_id, ct_v, ctx))
         obs.inc("batch.queue.submitted")
         obs.set_gauge("batch.queue.depth", len(self._pending))
         return request_id
@@ -664,16 +689,18 @@ class BatchQueue:
             )
         with obs.span("batch.drain", requests=len(pending), batch=batch_id):
             results = self.engine.multiply_batch(
-                [ct for _rid, ct in pending], workers=self.workers
+                [ct for _rid, ct, _ctx in pending], workers=self.workers
             )
             jobs = self.engine.make_jobs(
-                [rid for rid, _ct in pending], batch_id=batch_id
+                [rid for rid, _ct, _ctx in pending],
+                batch_id=batch_id,
+                ctxs=[ctx for _rid, _ct, ctx in pending],
             )
             schedule = self.scheduler.schedule(jobs)
         obs.observe("batch.drain.requests", len(pending))
         obs.observe("batch.drain.makespan_cycles", schedule.makespan)
         report = BatchDrainReport(
-            request_ids=[rid for rid, _ct in pending],
+            request_ids=[rid for rid, _ct, _ctx in pending],
             results=results,
             schedule=schedule,
         )

@@ -54,25 +54,29 @@ def key_switch_raw(
     batch = int(np.prod(c.shape[1:-1], dtype=np.int64)) if c.ndim > 2 else 1
     obs.inc("he.keyswitch.calls", batch)
 
-    acc0 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
-    acc1 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
-    for i, qi in enumerate(ct_moduli):
-        digit = c[i]  # the i-th RNS digit, an integer in [0, q_i)
-        # broadcast the digit into every augmented limb (it is word-sized,
-        # so plain reduction — not centered — is the correct embedding)
-        digit_limbs = np.stack(
-            [digit % np.uint64(qj) for qj in aug]
-        )
-        digit_ntt = ctx.ntt_limbs(digit_limbs, aug)
-        for j, qj in enumerate(aug):
-            acc0[j] = modadd_vec(
-                acc0[j], modmul_vec(digit_ntt[j], ksk.b_ntt[i][j], qj), qj
+    # span lives here (not in apply_keyswitch) so *every* key-switch —
+    # including the batched PACKLWES path — is attributed in the profiler
+    with obs.span("KEYSWITCH", limbs=len(ct_moduli), batch=batch):
+        acc0 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
+        acc1 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
+        for i, qi in enumerate(ct_moduli):
+            digit = c[i]  # the i-th RNS digit, an integer in [0, q_i)
+            # broadcast the digit into every augmented limb (it is
+            # word-sized, so plain reduction — not centered — is the
+            # correct embedding)
+            digit_limbs = np.stack(
+                [digit % np.uint64(qj) for qj in aug]
             )
-            acc1[j] = modadd_vec(
-                acc1[j], modmul_vec(digit_ntt[j], ksk.a_ntt[i][j], qj), qj
-            )
-    d0 = aug.rescale_last(ctx.intt_limbs(acc0, aug))
-    d1 = aug.rescale_last(ctx.intt_limbs(acc1, aug))
+            digit_ntt = ctx.ntt_limbs(digit_limbs, aug)
+            for j, qj in enumerate(aug):
+                acc0[j] = modadd_vec(
+                    acc0[j], modmul_vec(digit_ntt[j], ksk.b_ntt[i][j], qj), qj
+                )
+                acc1[j] = modadd_vec(
+                    acc1[j], modmul_vec(digit_ntt[j], ksk.a_ntt[i][j], qj), qj
+                )
+        d0 = aug.rescale_last(ctx.intt_limbs(acc0, aug))
+        d1 = aug.rescale_last(ctx.intt_limbs(acc1, aug))
     return d0, d1
 
 
@@ -88,8 +92,7 @@ def apply_keyswitch(ct: RlweCiphertext, ksk: KeySwitchKey) -> RlweCiphertext:
             "key-switching operates on normal-basis ciphertexts "
             "(rescale the augmented ciphertext first)"
         )
-    with obs.span("KEYSWITCH", limbs=len(ct.basis)):
-        d0, d1 = key_switch_raw(ctx, ct.c1, ksk)
+    d0, d1 = key_switch_raw(ctx, ct.c1, ksk)
     c0 = np.stack(
         [modadd_vec(ct.c0[i], d0[i], q) for i, q in enumerate(ct.basis)]
     )

@@ -209,31 +209,32 @@ def pack_stacked_lwes(
     with obs.span("PACK", count=count, levels=levels, mode="batched"):
         for k in range(1, levels + 1):
             half = c0.shape[1] // 2
-            stride = n >> k
-            g = (1 << k) + 1
-            obs.inc("he.pack.reductions", half)
-            e0, e1 = c0[:, :half], c1[:, :half]
-            o0, o1 = c0[:, half:], c1[:, half:]
-            plus0 = np.empty_like(e0)
-            plus1 = np.empty_like(e1)
-            auto0 = np.empty_like(e0)
-            auto1 = np.empty_like(e1)
-            for i, q in enumerate(basis):
-                mono0 = shiftneg(o0[i], stride, q)
-                mono1 = shiftneg(o1[i], stride, q)
-                plus0[i] = modadd_vec(e0[i], mono0, q)
-                plus1[i] = modadd_vec(e1[i], mono1, q)
-                auto0[i] = automorph(modsub_vec(e0[i], mono0, q), g, q)
-                auto1[i] = automorph(modsub_vec(e1[i], mono1, q), g, q)
-            d0, d1 = key_switch_raw(ctx, auto1, galois_keys[g])
-            next0 = np.empty_like(plus0)
-            next1 = np.empty_like(plus1)
-            for i, q in enumerate(basis):
-                next0[i] = modadd_vec(
-                    plus0[i], modadd_vec(auto0[i], d0[i], q), q
-                )
-                next1[i] = modadd_vec(plus1[i], d1[i], q)
-            c0, c1 = next0, next1
+            with obs.span("PACK.level", level=k, pairs=half):
+                stride = n >> k
+                g = (1 << k) + 1
+                obs.inc("he.pack.reductions", half)
+                e0, e1 = c0[:, :half], c1[:, :half]
+                o0, o1 = c0[:, half:], c1[:, half:]
+                plus0 = np.empty_like(e0)
+                plus1 = np.empty_like(e1)
+                auto0 = np.empty_like(e0)
+                auto1 = np.empty_like(e1)
+                for i, q in enumerate(basis):
+                    mono0 = shiftneg(o0[i], stride, q)
+                    mono1 = shiftneg(o1[i], stride, q)
+                    plus0[i] = modadd_vec(e0[i], mono0, q)
+                    plus1[i] = modadd_vec(e1[i], mono1, q)
+                    auto0[i] = automorph(modsub_vec(e0[i], mono0, q), g, q)
+                    auto1[i] = automorph(modsub_vec(e1[i], mono1, q), g, q)
+                d0, d1 = key_switch_raw(ctx, auto1, galois_keys[g])
+                next0 = np.empty_like(plus0)
+                next1 = np.empty_like(plus1)
+                for i, q in enumerate(basis):
+                    next0[i] = modadd_vec(
+                        plus0[i], modadd_vec(auto0[i], d0[i], q), q
+                    )
+                    next1[i] = modadd_vec(plus1[i], d1[i], q)
+                c0, c1 = next0, next1
     obs.inc("he.pack.calls")
     packed = RlweCiphertext(ctx, basis, c0[:, 0], c1[:, 0])
     return PackedResult(

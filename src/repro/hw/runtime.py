@@ -93,6 +93,9 @@ class Job:
     ``batch_id`` tags jobs that arrived as one drained batch (see
     :class:`repro.core.batch.BatchQueue`), so the scheduler can report
     when an *entire batch* retires, not just individual jobs.
+    ``ctx`` carries the originating request's frozen trace context, so
+    device-side attempt spans land in the same trace tree as the serving
+    layer that offloaded the job.
     """
 
     job_id: int
@@ -102,6 +105,7 @@ class Job:
     cycles: int = 0
     retries: int = 0
     batch_id: Optional[int] = None
+    ctx: Optional[obs.TraceContext] = None
 
 
 @dataclass
@@ -206,11 +210,16 @@ class FpgaRuntime:
         faults: Optional[FaultInjector] = None,
         max_register_retries: int = 3,
         max_job_retries: int = 2,
+        lane: Optional[int] = None,
     ) -> None:
         self.cfg = cfg or cham_default_config()
         self.device = VirtualFpga(self.cfg, faults)
         self.max_register_retries = max_register_retries
         self.max_job_retries = max_job_retries
+        #: Chrome ``pid`` lane for this runtime's attempt spans (None =
+        #: inherit from the job's trace context); serve/cluster layers
+        #: assign one lane per engine/node so traces separate visually
+        self.trace_lane = lane
         self._next_job = 0
         self.jobs: Dict[int, Job] = {}
         self._completed: List[int] = []
@@ -246,9 +255,23 @@ class FpgaRuntime:
         """Price a job on this runtime's device without submitting it."""
         return self.device.estimate_cycles(rows, col_tiles)
 
-    def submit(self, rows: int, col_tiles: int = 1) -> int:
-        """Queue an HMVP job; returns a job id."""
-        job = Job(job_id=self._next_job, rows=rows, col_tiles=col_tiles)
+    def submit(
+        self,
+        rows: int,
+        col_tiles: int = 1,
+        ctx: Optional[obs.TraceContext] = None,
+    ) -> int:
+        """Queue an HMVP job; returns a job id.
+
+        ``ctx`` tags the job with its request's trace context; when
+        omitted, the ambient context (if any) is captured, so callers
+        inside a traced region get attribution for free.
+        """
+        if ctx is None:
+            ctx = obs.current_context()
+        job = Job(
+            job_id=self._next_job, rows=rows, col_tiles=col_tiles, ctx=ctx
+        )
         self._next_job += 1
         self.jobs[job.job_id] = job
         return job.job_id
@@ -269,29 +292,39 @@ class FpgaRuntime:
         if job.state in (JobState.DONE, JobState.FAILED):
             return job.state
         job.state = JobState.RUNNING
-        try:
-            job.cycles = self.device.run_job(job)
-        except DeviceHangError:
-            self.hangs_detected += 1
-            self._watchdog_reset()
-            job.retries += 1
-            self.job_retries += 1
-            obs.inc("hw.runtime.job_retries")
-            # A failed watchdog episode is NOT a failed job: the device
-            # may need more resets than one episode performs (transient
-            # hang with slow recovery), and the next attempt runs a new
-            # episode.  Only an exhausted retry budget fails the job —
-            # previously `not recovered` failed it immediately, stranding
-            # recoverable jobs and leaving a hung device to fault every
-            # subsequent submission.
-            if job.retries > self.max_job_retries:
-                job.state = JobState.FAILED
-                self.jobs_failed += 1
+        with obs.span(
+            "hw.job.attempt",
+            ctx=job.ctx,
+            pid=self.trace_lane,
+            job=job_id,
+            rows=job.rows,
+            attempt=job.retries,
+        ) as attempt_span:
+            try:
+                job.cycles = self.device.run_job(job)
+            except DeviceHangError:
+                self.hangs_detected += 1
+                self._watchdog_reset()
+                job.retries += 1
+                self.job_retries += 1
+                obs.inc("hw.runtime.job_retries")
+                # A failed watchdog episode is NOT a failed job: the device
+                # may need more resets than one episode performs (transient
+                # hang with slow recovery), and the next attempt runs a new
+                # episode.  Only an exhausted retry budget fails the job —
+                # previously `not recovered` failed it immediately, stranding
+                # recoverable jobs and leaving a hung device to fault every
+                # subsequent submission.
+                if job.retries > self.max_job_retries:
+                    job.state = JobState.FAILED
+                    self.jobs_failed += 1
+                attempt_span.set(outcome=job.state.value)
+                return job.state
+            job.state = JobState.DONE
+            self.busy_cycles += job.cycles
+            self._completed.append(job_id)
+            attempt_span.set(outcome="done", cycles=job.cycles)
             return job.state
-        job.state = JobState.DONE
-        self.busy_cycles += job.cycles
-        self._completed.append(job_id)
-        return job.state
 
     def poll(self, job_id: int) -> JobState:
         """Drive the job to completion (hang/reset handled transparently)."""

@@ -47,12 +47,16 @@ from .metrics import (
 from .tracing import (
     TRACER,
     Span,
+    TraceContext,
     Tracer,
+    current_context,
     default_tracer,
     disable_tracing,
     enable_tracing,
+    run_with_context,
     span,
     tracing_enabled,
+    use_context,
 )
 
 __all__ = [
@@ -66,8 +70,12 @@ __all__ = [
     "disable_metrics",
     "metrics_enabled",
     "Span",
+    "TraceContext",
     "Tracer",
     "TRACER",
+    "current_context",
+    "use_context",
+    "run_with_context",
     "default_tracer",
     "enable_tracing",
     "disable_tracing",

@@ -25,7 +25,9 @@ scheduler, threaded benchmark harnesses) can share the registry.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Dict, Optional
 
 __all__ = [
@@ -81,14 +83,18 @@ class Histogram:
     """Streaming summary statistics plus a bounded quantile reservoir.
 
     The count/sum/min/max summary is exact and O(1); percentiles come
-    from a capped reservoir of the first :data:`RESERVOIR_CAP`
-    observations (serving-latency populations are far below the cap in
-    practice, so the quantiles are exact there too).
+    from a uniform random sample of *all* observations, maintained with
+    Vitter's Algorithm R: below :data:`RESERVOIR_CAP` every observation
+    is kept (quantiles are exact there), above it each i-th observation
+    replaces a random slot with probability cap/i, so late-arriving tail
+    latencies stay representatively sampled instead of being dropped.
+    The RNG is seeded from the instrument name, keeping runs
+    reproducible.
     """
 
     RESERVOIR_CAP = 65536
 
-    __slots__ = ("name", "count", "total", "min", "max", "_values", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "_values", "_rng", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -97,6 +103,7 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._values: list = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -109,6 +116,10 @@ class Histogram:
                 self.max = value
             if len(self._values) < self.RESERVOIR_CAP:
                 self._values.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.RESERVOIR_CAP:
+                    self._values[slot] = value
 
     @property
     def mean(self) -> float:

@@ -138,6 +138,9 @@ class _Pending:
     deadline_t: float  #: event-loop time after which it expires
     enqueue_t: float
     future: "asyncio.Future[ServeOutcome]"
+    #: trace root minted at admission; every span this request produces
+    #: (batch compute, offload attempts, degrade) joins this trace
+    ctx: Optional[obs.TraceContext] = None
 
 
 class EngineWorker:
@@ -335,7 +338,10 @@ class HmvpServer:
             # retry policy (backoff, budget, degrade) lives up here where
             # it is observable, not inside the driver's blind loop
             runtime = FpgaRuntime(
-                cfg=self.cham, faults=faults, max_job_retries=0
+                cfg=self.cham,
+                faults=faults,
+                max_job_retries=0,
+                lane=engine_id + 1,
             )
             self.workers.append(EngineWorker(engine_id, engine, runtime))
         if self.workers[0].engine.encoded.col_tiles != 1:
@@ -361,6 +367,12 @@ class HmvpServer:
         """Spawn one dispatch loop per engine worker."""
         if self._tasks:
             raise RuntimeError("server already started")
+        if obs.TRACER.enabled:
+            obs.TRACER.name_process(0, "serve.coordinator")
+            for worker in self.workers:
+                obs.TRACER.name_process(
+                    worker.engine_id + 1, f"engine{worker.engine_id}"
+                )
         self._closing = False
         self._pool = ThreadPoolExecutor(
             max_workers=len(self.workers),
@@ -412,6 +424,7 @@ class HmvpServer:
             deadline_t=now + budget_ms / 1000.0,
             enqueue_t=now,
             future=future,
+            ctx=obs.TRACER.new_trace() if obs.TRACER.enabled else None,
         )
         try:
             self._queue.put_nowait(pending)
@@ -484,12 +497,19 @@ class HmvpServer:
         if not live:
             return
         with obs.span(
-            "serve.batch", engine=worker.engine_id, size=len(live)
-        ):
+            "serve.batch",
+            engine=worker.engine_id,
+            size=len(live),
+            rids=[p.request_id for p in live],
+        ) as batch_span:
             # exact functional results, off the event loop (the NumPy
-            # kernels release the GIL, so engine workers overlap)
+            # kernels release the GIL, so engine workers overlap); the
+            # batch's trace context is bridged across the executor hop
+            # so the kernel spans land under serve.batch
             results = await loop.run_in_executor(
                 self._pool,
+                obs.run_with_context,
+                obs.current_context(),
                 worker.engine.multiply_batch,
                 [p.ct for p in live],
             )
@@ -498,7 +518,9 @@ class HmvpServer:
             # whether the request was served by the FPGA or degraded,
             # and what it cost on the device clock
             for pending, result in zip(live, results):
-                outcome = await self._offload(worker, pending)
+                outcome = await self._offload(
+                    worker, pending, batch_span.span_id
+                )
                 outcome.result = result
                 outcome.queue_ms = 1e3 * (start_t - pending.enqueue_t)
                 outcome.execute_ms = 1e3 * (exec_done_t - start_t)
@@ -508,14 +530,22 @@ class HmvpServer:
         worker.requests_served += len(live)
 
     async def _offload(
-        self, worker: EngineWorker, pending: _Pending
+        self, worker: EngineWorker, pending: _Pending, batch_span_id: str = ""
     ) -> ServeOutcome:
-        """Drive one request's job through the RAS runtime with retries."""
+        """Drive one request's job through the RAS runtime with retries.
+
+        The span opens under the request's own trace root (minted at
+        admission) and links back to the ``serve.batch`` span that
+        computed its ciphertext, so the exported trace connects the
+        shared batch work to each per-request offload tree.
+        """
         cfg = self.config
         runtime = worker.runtime
         retries = 0
         with obs.span(
             "serve.request",
+            ctx=pending.ctx,
+            links=(batch_span_id,) if batch_span_id else None,
             rid=pending.request_id,
             engine=worker.engine_id,
         ) as request_span:

@@ -10,6 +10,7 @@ the full-size configuration.
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.he.bfv import BfvScheme
 from repro.he.context import CheContext
 from repro.he.keys import (
@@ -19,6 +20,52 @@ from repro.he.keys import (
     pack_galois_elements,
 )
 from repro.he.params import toy_params
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_defaults():
+    """Snapshot/restore the default REGISTRY and TRACER around every test.
+
+    The observability singletons are process globals; a test that enables
+    metrics or tracing and leaks state would poison any test that runs
+    after it in the same worker — nondeterministically under ``-n auto``,
+    where the schedule decides who runs after whom.  Restoring both the
+    enabled flags and the recorded contents makes every test start from
+    the same blank default, whatever worker it lands on.
+    """
+    reg, tr = obs.REGISTRY, obs.TRACER
+    reg_enabled = reg.enabled
+    reg_state = (
+        dict(reg._counters), dict(reg._gauges), dict(reg._histograms)
+    )
+    tr_enabled = tr.enabled
+    with tr._lock:
+        tr_state = (
+            list(tr._spans),
+            dict(tr._track_names),
+            dict(tr._process_names),
+            dict(tr._thread_tracks),
+            tr._epoch,
+        )
+    yield
+    reg.enabled = reg_enabled
+    with reg._lock:
+        reg._counters.clear()
+        reg._counters.update(reg_state[0])
+        reg._gauges.clear()
+        reg._gauges.update(reg_state[1])
+        reg._histograms.clear()
+        reg._histograms.update(reg_state[2])
+    tr.enabled = tr_enabled
+    with tr._lock:
+        tr._spans[:] = tr_state[0]
+        tr._track_names.clear()
+        tr._track_names.update(tr_state[1])
+        tr._process_names.clear()
+        tr._process_names.update(tr_state[2])
+        tr._thread_tracks.clear()
+        tr._thread_tracks.update(tr_state[3])
+        tr._epoch = tr_state[4]
 
 
 @pytest.fixture(scope="session")

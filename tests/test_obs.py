@@ -57,6 +57,44 @@ def test_empty_histogram_summary_is_defined():
     assert h.summary()["count"] == 0
 
 
+def test_histogram_reservoir_sees_the_late_tail():
+    """Regression: the old reservoir kept only the first 65,536 samples,
+    so a latency tail arriving after warm-up never moved the percentiles.
+    Algorithm R keeps every sample's inclusion probability uniform, so a
+    late 50% tail of slow observations must dominate the upper
+    percentiles (seeded RNG — deterministic)."""
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("lat")
+    cap = Histogram.RESERVOIR_CAP
+    for _ in range(cap):
+        h.observe(1.0)
+    # pre-fix these percentiles were frozen at 1.0 forever after
+    assert h.percentile(99) == 1.0
+    for _ in range(cap):
+        h.observe(100.0)
+    assert h.count == 2 * cap
+    assert h.max == 100.0
+    # ~half the reservoir is now late-tail samples; the upper percentiles
+    # must reflect them while the lower ones still see the early phase
+    assert h.percentile(99) == 100.0
+    assert h.percentile(90) == 100.0
+    assert h.percentile(10) == 1.0
+
+
+def test_histogram_reservoir_is_deterministic():
+    """Two same-named histograms fed the same stream agree exactly (the
+    RNG is seeded from the instrument name)."""
+    from repro.obs.metrics import Histogram
+
+    def fill(h):
+        for i in range(Histogram.RESERVOIR_CAP + 5000):
+            h.observe(float(i))
+        return sorted(h._values)
+
+    assert fill(Histogram("a")) == fill(Histogram("a"))
+
+
 def test_get_or_create_returns_same_instrument():
     reg = MetricsRegistry()
     assert reg.counter("x") is reg.counter("x")
@@ -325,6 +363,39 @@ def test_tracer_concurrent_spans_keep_thread_nesting():
     assert len(outers) == 12 and len(inners) == 12
     for s in inners:
         assert s.depth == 1  # nested under that thread's outer, not another's
+
+
+def test_tracer_readers_race_writers_without_corruption():
+    """Regression: ``name_track``/``chrome_events``/``__len__`` used to
+    read shared dicts and the span list without the lock, so a reader
+    iterating while a writer recorded raised ``RuntimeError: dictionary
+    changed size during iteration`` (nondeterministically under
+    ``-n auto``).  Hammer all of them at once; nothing may raise and no
+    span may be lost."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    tracer = Tracer(enabled=True)
+    spans_per_writer, writers, readers = 200, 4, 3
+
+    def write(i):
+        for j in range(spans_per_writer):
+            tracer.name_track(j % 7, f"lane{j % 7}")
+            with tracer.span("w", worker=i, j=j):
+                pass
+        return True
+
+    def read(_):
+        for _ in range(150):
+            events = tracer.chrome_events()
+            assert len(tracer) >= 0
+            assert all("ph" in e for e in events)
+        return True
+
+    with ThreadPoolExecutor(max_workers=writers + readers) as pool:
+        futures = [pool.submit(write, i) for i in range(writers)]
+        futures += [pool.submit(read, i) for i in range(readers)]
+        assert all(f.result() for f in futures)
+    assert len(tracer) == writers * spans_per_writer
 
 
 def test_batched_engine_counters_exact_under_pool():
