@@ -5,12 +5,14 @@ than the CPU baseline."  CHAM's rate comes from the pack pipeline's
 initiation interval; the CPU anchor is fixed by the quoted ratio.
 """
 
+import time
+
 import numpy as np
 import pytest
-from conftest import print_table
+from conftest import print_table, record_result
 
 from repro.he.keys import generate_keyswitch_key, generate_secret_key
-from repro.he.keyswitch import apply_keyswitch
+from repro.he.keyswitch import apply_keyswitch, key_switch_raw
 from repro.he.rlwe import encrypt
 from repro.hw.perf import ChamPerfModel, CpuCostModel
 
@@ -41,6 +43,51 @@ def test_keyswitch_pipeline_interval_balances_row_rate():
 
     engine = EngineConfig()
     assert engine.pack_interval <= engine.dot_product_interval
+
+
+def test_keyswitch_wall_rate(bench_scheme, rng):
+    """Wall-clock key-switch rate, recorded for the perfcheck gate.
+
+    Two figures: the single-ciphertext :func:`apply_keyswitch` rate and
+    the batched :func:`key_switch_raw` rate over a ``(L, 8, n)`` stack
+    (the shape the batched PACKLWES kernel issues).  The fused-limb
+    rewrite moved these from ~390 ops/s (per-digit double loop) to
+    well over 5x that; ``benchmarks/floors.json`` pins the floors.
+    """
+    ctx = bench_scheme.ctx
+    sk = bench_scheme.secret_key
+    other = generate_secret_key(ctx)
+    ksk = generate_keyswitch_key(ctx, other, sk)
+    pt = bench_scheme.encoder.encode_coeffs(rng.integers(-100, 100, 128))
+    ct = encrypt(ctx, other, pt, augmented=False)
+    batch = 8
+    stack = np.stack([ct.c1] * batch, axis=1)  # (L, batch, n)
+
+    def rate(fn, per_call, min_time=0.5):
+        fn()  # warm caches (twiddle slabs, key stacks, reducers)
+        calls = 0
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < min_time:
+            fn()
+            calls += 1
+        return calls * per_call / (time.perf_counter() - t0)
+
+    single = rate(lambda: apply_keyswitch(ct, ksk), 1)
+    batched = rate(lambda: key_switch_raw(ctx, stack, ksk), batch)
+    print_table(
+        "Key-switch wall rate (toy ring n=128, L=2)",
+        ["path", "ops/s"],
+        [
+            ("apply_keyswitch (single)", f"{single:,.0f}"),
+            (f"key_switch_raw (batch {batch})", f"{batched:,.0f}"),
+        ],
+    )
+    record_result(
+        "keyswitch",
+        {"ops_per_s_single": single, "ops_per_s_batched": batched},
+        params={"n": ctx.n, "limbs": len(ctx.params.ct_moduli), "batch": batch},
+    )
+    assert batched >= single * 0.9  # batching must never cost throughput
 
 
 @pytest.mark.benchmark(group="keyswitch")

@@ -41,7 +41,7 @@ import numpy as np
 
 from .. import obs
 from ..he.bfv import BfvScheme
-from ..he.packing import PackedResult, pack_stacked_lwes
+from ..he.packing import PackedResult, pack_stacked_lwes, pack_stacked_lwes_many
 from ..he.params import CheParams
 from ..he.rlwe import RlweCiphertext
 from ..hw.runtime import Job, JobScheduler, QueueReport
@@ -330,27 +330,25 @@ class BatchedHmvp:
         rows = tile_ntt.shape[1]
         with obs.span("batch.dot", rows=rows):
             with obs.span("batch.modmul", rows=rows, limbs=len(aug)):
-                prods = [
-                    np.stack(
-                        [
-                            modmul_vec(tile_ntt[i], comp[i][None, :], q)
-                            for i, q in enumerate(aug)
-                        ]
-                    )
-                    for comp in (c0n, c1n)
-                ]
+                # both components against every row in one broadcast
+                # pass: (L_aug, 1, rows, n) x (L_aug, 2, 1, n)
+                aug_col = aug.modulus_column.reshape(-1, 1, 1, 1)
+                comp = np.stack([c0n, c1n], axis=1)  # (L_aug, 2, n)
+                prods = modmul_vec(
+                    tile_ntt[:, np.newaxis], comp[:, :, np.newaxis, :], aug_col
+                )
             with obs.span("batch.intt", rows=rows, limbs=len(aug)):
-                d0, d1 = (ctx.intt_limbs(p, aug) for p in prods)
+                d = ctx.intt_limbs(prods, aug)
             with obs.span("batch.rescale_extract", rows=rows):
-                r0 = aug.rescale_last(d0)
-                r1 = aug.rescale_last(d1)
+                r = aug.rescale_last(d)  # (L, 2, rows, n)
+                r0, r1 = r[:, 0], r[:, 1]
                 # vectorized EXTRACTLWES at index 0: b = c0[..0];
                 # a[0] = c1[..0], a[j] = -c1[..n-j] for j >= 1
                 b = np.ascontiguousarray(r0[:, :, 0])
                 a = np.empty_like(r1)
                 a[..., 0] = r1[..., 0]
-                for i, q in enumerate(ct_basis):
-                    a[i, :, 1:] = modneg_vec(r1[i, :, :0:-1], q)
+                ct_col = ct_basis.modulus_column.reshape(-1, 1, 1)
+                a[:, :, 1:] = modneg_vec(r1[:, :, :0:-1], ct_col)
         return b, a
 
     def _row_tile_partial(
@@ -375,12 +373,9 @@ class BatchedHmvp:
                 agg_b, agg_a = b, a
             else:
                 # aggregate partial dot products as LWEs (cheap additions)
-                agg_b = np.stack(
-                    [modadd_vec(agg_b[i], b[i], q) for i, q in enumerate(ct_basis)]
-                )
-                agg_a = np.stack(
-                    [modadd_vec(agg_a[i], a[i], q) for i, q in enumerate(ct_basis)]
-                )
+                col = ct_basis.modulus_column
+                agg_b = modadd_vec(agg_b, b, col.reshape(-1, 1))
+                agg_a = modadd_vec(agg_a, a, col.reshape(-1, 1, 1))
         return agg_b, agg_a
 
     def _row_tile_pack(
@@ -395,6 +390,61 @@ class BatchedHmvp:
             return pack_stacked_lwes(
                 ctx, ctx.ct_basis, agg_b, agg_a, self.scheme.galois_keys
             )
+
+    def _fused_batch_pack(
+        self, cts: Sequence[RlweCiphertext]
+    ) -> List[List[PackedResult]]:
+        """Every request of a single-column-tile batch in lock-step.
+
+        Stacks all ``R`` requests along a batch axis and drives the
+        whole pipeline — hoist NTT, dot, inverse NTT, rescale, extract,
+        pack — as fused ``(L, ..., R, ..., n)`` kernels: each stage runs
+        *once* per row tile instead of once per request, which is where
+        the warm-path wall time goes at CHAM's ring sizes (interpreter
+        dispatch, not arithmetic).  Bit-identical per request to the
+        per-request path.  Returns ``results[request][row_tile]``.
+        """
+        ctx = self.scheme.ctx
+        aug = ctx.aug_basis
+        ct_basis = ctx.ct_basis
+        reqs = len(cts)
+        for ct in cts:
+            if not ct.is_augmented:
+                raise ValueError("vector ciphertext must be augmented")
+        with obs.span("batch.hoist", limbs=len(aug), requests=reqs):
+            c0n = ctx.ntt_limbs(np.stack([ct.c0 for ct in cts], axis=1), aug)
+            c1n = ctx.ntt_limbs(np.stack([ct.c1 for ct in cts], axis=1), aug)
+        comp = np.stack([c0n, c1n], axis=1)  # (L_aug, 2, R, n)
+        out: List[List[PackedResult]] = [[] for _ in range(reqs)]
+        for rt in range(self.encoded.row_tiles):
+            tile_ntt = self.encoded.tiles[(rt, 0)]
+            rows = tile_ntt.shape[1]
+            with obs.span("batch.dot", rows=rows, requests=reqs):
+                with obs.span("batch.modmul", rows=rows, limbs=len(aug)):
+                    # (L_aug, 1, 1, rows, n) x (L_aug, 2, R, 1, n)
+                    aug_col = aug.modulus_column.reshape(-1, 1, 1, 1, 1)
+                    prods = modmul_vec(
+                        tile_ntt[:, np.newaxis, np.newaxis],
+                        comp[..., np.newaxis, :],
+                        aug_col,
+                    )
+                with obs.span("batch.intt", rows=rows, limbs=len(aug)):
+                    d = ctx.intt_limbs(prods, aug)
+                with obs.span("batch.rescale_extract", rows=rows):
+                    r = aug.rescale_last(d)  # (L, 2, R, rows, n)
+                    r0, r1 = r[:, 0], r[:, 1]
+                    b = np.ascontiguousarray(r0[..., 0])  # (L, R, rows)
+                    a = np.empty_like(r1)  # (L, R, rows, n)
+                    a[..., 0] = r1[..., 0]
+                    ct_col = ct_basis.modulus_column.reshape(-1, 1, 1, 1)
+                    a[..., 1:] = modneg_vec(r1[..., :0:-1], ct_col)
+            with obs.span("batch.pack", rows=rows, row_tile=rt, requests=reqs):
+                packs = pack_stacked_lwes_many(
+                    ctx, ct_basis, b, a, self.scheme.galois_keys
+                )
+            for ri in range(reqs):
+                out[ri].append(packs[ri])
+        return out
 
     def request_op_count(self) -> HmvpOpCount:
         """Operation counts of one request against the resident matrix."""
@@ -519,11 +569,12 @@ class BatchedHmvp:
                 "matrix has multiple column tiles; use multiply_tiles "
                 "per request"
             )
+        if not cts:
+            return []
         pool_width = workers if workers is not None else (self.workers or 1)
         m, n_cols = self.matrix.shape
         obs.inc("batch.requests", len(cts))
         with obs.span("batch.batch", requests=len(cts), workers=pool_width):
-            hoisted = [self._hoist(ct) for ct in cts]
             tasks = [
                 (ri, rt)
                 for ri in range(len(cts))
@@ -532,6 +583,7 @@ class BatchedHmvp:
             if pool_width > 1 and len(tasks) > 1:
                 # pool threads do not inherit the contextvar, so carry
                 # the batch's trace context across the executor hop
+                hoisted = [self._hoist(ct) for ct in cts]
                 batch_ctx = obs.current_context()
                 with ThreadPoolExecutor(max_workers=pool_width) as pool:
                     packed = list(
@@ -546,9 +598,11 @@ class BatchedHmvp:
                         )
                     )
             else:
-                packed = [
-                    self._row_tile_pack(rt, [hoisted[ri]]) for ri, rt in tasks
-                ]
+                # single-worker path: fuse the whole batch into stacked
+                # lock-step kernels (one pass per pipeline stage per row
+                # tile, not per request)
+                per_request = self._fused_batch_pack(cts)
+                packed = [per_request[ri][rt] for ri, rt in tasks]
         obs.inc("core.hmvp.dot_products", m * len(cts))
         per_request = self.request_op_count()
         results = []

@@ -17,7 +17,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..math.ntt import NegacyclicNtt
+from ..math.ntt import FusedLimbNtt, NegacyclicNtt, fused_limb_ntt
 from ..math.rns import RnsBasis
 from .params import CheParams
 
@@ -42,17 +42,22 @@ class CheContext:
             self._ntts[q] = ctx
         return ctx
 
+    def fused_ntt(self, basis: RnsBasis) -> FusedLimbNtt:
+        """The cached fused-limb NTT context for a whole basis."""
+        return fused_limb_ntt(self.params.n, basis.moduli)
+
     def ntt_limbs(self, limbs: np.ndarray, basis: RnsBasis) -> np.ndarray:
-        """Forward NTT of an RNS limb stack ``(L, ..., n)``, per-limb moduli."""
-        return np.stack(
-            [self.ntt(q).forward(limbs[i]) for i, q in enumerate(basis)]
-        )
+        """Forward NTT of an RNS limb stack ``(L, ..., n)``, per-limb moduli.
+
+        One fused butterfly sweep over the whole stack (bit-identical to
+        transforming each limb separately — see
+        :class:`repro.math.ntt.FusedLimbNtt`).
+        """
+        return self.fused_ntt(basis).forward(limbs)
 
     def intt_limbs(self, limbs: np.ndarray, basis: RnsBasis) -> np.ndarray:
-        """Inverse NTT of an RNS limb stack."""
-        return np.stack(
-            [self.ntt(q).inverse(limbs[i]) for i, q in enumerate(basis)]
-        )
+        """Inverse NTT of an RNS limb stack (fused over all limbs)."""
+        return self.fused_ntt(basis).inverse(limbs)
 
     def negacyclic_multiply(
         self, a: np.ndarray, b: np.ndarray, basis: RnsBasis

@@ -89,10 +89,37 @@ class KeySwitchKey:
 
     b_ntt: List[np.ndarray]
     a_ntt: List[np.ndarray]
+    _stack: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def decomp_count(self) -> int:
         return len(self.b_ntt)
+
+    def fused_stack(self) -> np.ndarray:
+        """The key as one frozen ``(L_aug, 2, L, n)`` stack, built lazily.
+
+        Axis 0 is the augmented limb ``j``, axis 1 the component
+        (``b`` then ``a``), axis 2 the decomposition digit ``i`` — the
+        layout the fused key-switch broadcasts against its
+        ``(L_aug, 1, L, *batch, n)`` digit stack, so *both* inner
+        products come out of one modmul pass.  Cached on first use (keys
+        are immutable after keygen) and frozen read-only because one key
+        is shared across threads.
+        """
+        if self._stack is None:
+            comb = np.stack(
+                [np.stack(self.b_ntt, axis=1), np.stack(self.a_ntt, axis=1)],
+                axis=1,
+            )
+            comb.flags.writeable = False
+            self._stack = comb
+        return self._stack
+
+    def stacks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``b`` and ``a`` halves of :meth:`fused_stack` as
+        ``(L_aug, L, n)`` read-only views."""
+        comb = self.fused_stack()
+        return comb[:, 0], comb[:, 1]
 
 
 @dataclass

@@ -27,7 +27,7 @@ from .context import CheContext
 from .keys import KeySwitchKey
 from .rlwe import RlweCiphertext
 
-__all__ = ["key_switch_raw", "apply_keyswitch"]
+__all__ = ["key_switch_raw", "key_switch_raw_loop", "apply_keyswitch"]
 
 
 def key_switch_raw(
@@ -45,6 +45,22 @@ def key_switch_raw(
     ``d0 + d1 * s  ≈  c * s_src   (mod Q)``
 
     with word-sized additive noise.
+
+    This is the *fused-limb* implementation: instead of the per-digit /
+    per-limb double loop (``2 * L * (L+1)`` small array ops plus
+    ``L * (L+1)`` separate NTTs), it
+
+    1. embeds every digit into every augmented limb in one broadcast
+       remainder — a ``(L_aug, L, *batch, n)`` stack;
+    2. runs **one** fused NTT sweep over that whole stack;
+    3. forms *both* inner products with a single broadcast modmul pass
+       against the combined key stack (``(L_aug, 2, L, n)``) and a
+       modadd reduction over the digit axis;
+    4. inverse-transforms and rescales ``acc0``/``acc1`` together as a
+       single ``(L_aug, 2, *batch, n)`` stack.
+
+    Output is bit-identical per RNS limb to the reference double loop
+    (:func:`key_switch_raw_loop`), which the property suite enforces.
     """
     params = ctx.params
     aug = ctx.aug_basis
@@ -53,30 +69,76 @@ def key_switch_raw(
         raise ValueError(f"expected normal-basis stack, got shape {c.shape}")
     batch = int(np.prod(c.shape[1:-1], dtype=np.int64)) if c.ndim > 2 else 1
     obs.inc("he.keyswitch.calls", batch)
+    n_aug = len(aug)
+    n_digits = len(ct_moduli)
 
     # span lives here (not in apply_keyswitch) so *every* key-switch —
     # including the batched PACKLWES path — is attributed in the profiler
-    with obs.span("KEYSWITCH", limbs=len(ct_moduli), batch=batch):
-        acc0 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
-        acc1 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
-        for i, qi in enumerate(ct_moduli):
-            digit = c[i]  # the i-th RNS digit, an integer in [0, q_i)
-            # broadcast the digit into every augmented limb (it is
-            # word-sized, so plain reduction — not centered — is the
-            # correct embedding)
-            digit_limbs = np.stack(
-                [digit % np.uint64(qj) for qj in aug]
+    with obs.span("KEYSWITCH", limbs=n_digits, batch=batch):
+        # (1) digit embedding: each RNS digit is word-sized, so plain
+        # reduction — not centered — into every augmented limb is the
+        # correct embedding.  One vectorized remainder against the
+        # modulus column replaces the old per-(i, j) stack of copies and
+        # never leaves uint64 (no intermediate upcasts, no double
+        # reduction of word-sized digits).
+        aug_col = aug.modulus_column.reshape((n_aug,) + (1,) * c.ndim)
+        digit_limbs = c[np.newaxis] % aug_col  # (L_aug, L, *batch, n)
+        assert digit_limbs.dtype == np.uint64, digit_limbs.dtype
+        assert digit_limbs.dtype == np.uint64, digit_limbs.dtype
+        # (2) one fused butterfly sweep over all L_aug * L polynomials
+        digit_ntt = ctx.ntt_limbs(digit_limbs, aug)
+        # (3) both inner products in one broadcast pass: the combined
+        # (L_aug, 2, L, n) key against the (L_aug, 1, L, *batch, n)
+        # digit stack, then a modadd reduction over the digit axis
+        key_shape = (n_aug, 2, n_digits) + (1,) * (c.ndim - 2) + (ctx.n,)
+        key = ksk.fused_stack().reshape(key_shape)
+        prod = modmul_vec(digit_ntt[:, np.newaxis], key, aug_col[:, np.newaxis])
+        acc = prod[:, :, 0]  # (L_aug, 2, *batch, n)
+        for i in range(1, n_digits):
+            acc = modadd_vec(acc, prod[:, :, i], aug_col)
+        # (4) both components share one inverse transform + rescale
+        d = aug.rescale_last(ctx.intt_limbs(acc, aug))
+        d0 = np.ascontiguousarray(d[:, 0])
+        d1 = np.ascontiguousarray(d[:, 1])
+    return d0, d1
+
+
+def key_switch_raw_loop(
+    ctx: CheContext, c: np.ndarray, ksk: KeySwitchKey
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference per-digit / per-limb key-switch (the differential oracle).
+
+    This is the original double-loop implementation, kept verbatim so
+    the fused path has a bit-identity oracle (``tests/
+    test_fastpath_properties.py``).  Not instrumented and not used on
+    any hot path — call :func:`key_switch_raw` instead.
+    """
+    params = ctx.params
+    aug = ctx.aug_basis
+    ct_moduli = params.ct_moduli
+    if c.ndim < 2 or c.shape[0] != len(ct_moduli) or c.shape[-1] != ctx.n:
+        raise ValueError(f"expected normal-basis stack, got shape {c.shape}")
+    acc0 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
+    acc1 = np.zeros((len(aug),) + c.shape[1:], dtype=np.uint64)
+    for i, _qi in enumerate(ct_moduli):
+        digit = c[i]  # the i-th RNS digit, an integer in [0, q_i)
+        digit_limbs = np.stack([digit % np.uint64(qj) for qj in aug])
+        digit_ntt = np.stack(
+            [ctx.ntt(qj).forward(digit_limbs[j]) for j, qj in enumerate(aug)]
+        )
+        for j, qj in enumerate(aug):
+            acc0[j] = modadd_vec(
+                acc0[j], modmul_vec(digit_ntt[j], ksk.b_ntt[i][j], qj), qj
             )
-            digit_ntt = ctx.ntt_limbs(digit_limbs, aug)
-            for j, qj in enumerate(aug):
-                acc0[j] = modadd_vec(
-                    acc0[j], modmul_vec(digit_ntt[j], ksk.b_ntt[i][j], qj), qj
-                )
-                acc1[j] = modadd_vec(
-                    acc1[j], modmul_vec(digit_ntt[j], ksk.a_ntt[i][j], qj), qj
-                )
-        d0 = aug.rescale_last(ctx.intt_limbs(acc0, aug))
-        d1 = aug.rescale_last(ctx.intt_limbs(acc1, aug))
+            acc1[j] = modadd_vec(
+                acc1[j], modmul_vec(digit_ntt[j], ksk.a_ntt[i][j], qj), qj
+            )
+    d0 = aug.rescale_last(
+        np.stack([ctx.ntt(qj).inverse(acc0[j]) for j, qj in enumerate(aug)])
+    )
+    d1 = aug.rescale_last(
+        np.stack([ctx.ntt(qj).inverse(acc1[j]) for j, qj in enumerate(aug)])
+    )
     return d0, d1
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "pack_lwes",
     "pack_lwes_batched",
     "pack_stacked_lwes",
+    "pack_stacked_lwes_many",
     "pack_reduction_count",
 ]
 
@@ -189,7 +190,75 @@ def pack_stacked_lwes(
     nlimbs, count = b.shape
     if a.shape != (nlimbs, count, ctx.n) or nlimbs != len(basis):
         raise ValueError(f"stacked LWE shapes {b.shape} / {a.shape} mismatch")
-    if count < 1:
+    c0, c1, levels, target = _pack_tree(
+        ctx, basis, b[:, np.newaxis], a[:, np.newaxis], galois_keys
+    )
+    obs.inc("he.pack.calls")
+    packed = RlweCiphertext(
+        ctx,
+        basis,
+        np.ascontiguousarray(c0[:, 0]),
+        np.ascontiguousarray(c1[:, 0]),
+    )
+    return PackedResult(
+        ct=packed, count=count, scale_pow2=levels, reductions=target - 1
+    )
+
+
+def pack_stacked_lwes_many(
+    ctx: CheContext,
+    basis: RnsBasis,
+    b: np.ndarray,
+    a: np.ndarray,
+    galois_keys: GaloisKeyset,
+) -> List[PackedResult]:
+    """Pack ``R`` independent stacked-LWE batches in lock-step.
+
+    ``b`` has shape ``(L, R, m)`` and ``a`` shape ``(L, R, m, n)`` — one
+    pack of ``m`` LWEs per request.  All ``R`` pack trees share the same
+    level schedule (same Galois element and monomial stride at each
+    level), so every level issues *one* SHIFTNEG/AUTOMORPH pass and one
+    batched key-switch over all requests at once, instead of ``R``
+    separate pack pipelines.  Each returned pack is bit-identical to
+    running :func:`pack_stacked_lwes` on that request alone.
+    """
+    if b.ndim != 3:
+        raise ValueError(f"expected (L, R, m) stacked b, got shape {b.shape}")
+    nlimbs, reqs, count = b.shape
+    if a.shape != (nlimbs, reqs, count, ctx.n) or nlimbs != len(basis):
+        raise ValueError(f"stacked LWE shapes {b.shape} / {a.shape} mismatch")
+    c0, c1, levels, target = _pack_tree(ctx, basis, b, a, galois_keys)
+    obs.inc("he.pack.calls", reqs)
+    return [
+        PackedResult(
+            ct=RlweCiphertext(
+                ctx,
+                basis,
+                np.ascontiguousarray(c0[:, r]),
+                np.ascontiguousarray(c1[:, r]),
+            ),
+            count=count,
+            scale_pow2=levels,
+            reductions=target - 1,
+        )
+        for r in range(reqs)
+    ]
+
+
+def _pack_tree(
+    ctx: CheContext,
+    basis: RnsBasis,
+    b: np.ndarray,
+    a: np.ndarray,
+    galois_keys: GaloisKeyset,
+) -> "tuple[np.ndarray, np.ndarray, int, int]":
+    """The shared PACKLWES tree over ``(L, R, m)`` / ``(L, R, m, n)`` stacks.
+
+    Returns ``(c0, c1, levels, target)`` with the packed components
+    shaped ``(L, R, n)``.
+    """
+    nlimbs, reqs, count = b.shape
+    if count < 1 or reqs < 1:
         raise ValueError("nothing to pack")
     levels = max(count - 1, 0).bit_length()
     target = 1 << levels
@@ -197,49 +266,40 @@ def pack_stacked_lwes(
         raise ValueError(f"cannot pack {count} > ring degree {ctx.n}")
     n = ctx.n
 
-    # Eq. 3 embedding for the whole batch at once, zero-padded to the
+    # Eq. 3 embedding for every request at once, zero-padded to the
     # next power of two (transparent zero ciphertexts, exact).
-    c0 = np.zeros((nlimbs, target, n), dtype=np.uint64)
-    c1 = np.zeros((nlimbs, target, n), dtype=np.uint64)
-    c0[:, :count, 0] = b
-    c1[:, :count, 0] = a[:, :, 0]
-    for i, q in enumerate(basis):
-        c1[i, :count, 1:] = modneg_vec(a[i, :, :0:-1], q)
+    q_col = basis.modulus_column.reshape(-1, 1, 1, 1)
+    c0 = np.zeros((nlimbs, reqs, target, n), dtype=np.uint64)
+    c1 = np.zeros((nlimbs, reqs, target, n), dtype=np.uint64)
+    c0[:, :, :count, 0] = b
+    c1[:, :, :count, 0] = a[..., 0]
+    c1[:, :, :count, 1:] = modneg_vec(a[..., :0:-1], q_col)
 
-    with obs.span("PACK", count=count, levels=levels, mode="batched"):
+    with obs.span(
+        "PACK", count=count, levels=levels, requests=reqs, mode="batched"
+    ):
         for k in range(1, levels + 1):
-            half = c0.shape[1] // 2
-            with obs.span("PACK.level", level=k, pairs=half):
+            half = c0.shape[2] // 2
+            with obs.span("PACK.level", level=k, pairs=half, requests=reqs):
                 stride = n >> k
                 g = (1 << k) + 1
-                obs.inc("he.pack.reductions", half)
-                e0, e1 = c0[:, :half], c1[:, :half]
-                o0, o1 = c0[:, half:], c1[:, half:]
-                plus0 = np.empty_like(e0)
-                plus1 = np.empty_like(e1)
-                auto0 = np.empty_like(e0)
-                auto1 = np.empty_like(e1)
-                for i, q in enumerate(basis):
-                    mono0 = shiftneg(o0[i], stride, q)
-                    mono1 = shiftneg(o1[i], stride, q)
-                    plus0[i] = modadd_vec(e0[i], mono0, q)
-                    plus1[i] = modadd_vec(e1[i], mono1, q)
-                    auto0[i] = automorph(modsub_vec(e0[i], mono0, q), g, q)
-                    auto1[i] = automorph(modsub_vec(e1[i], mono1, q), g, q)
+                obs.inc("he.pack.reductions", half * reqs)
+                # whole-stack passes with the per-limb modulus column:
+                # SHIFTNEG / AUTOMORPH broadcast over requests, pairs
+                # and limbs; one batched key-switch covers every merge
+                # at this level across all R pack trees
+                e0, e1 = c0[:, :, :half], c1[:, :, :half]
+                o0, o1 = c0[:, :, half:], c1[:, :, half:]
+                mono0 = shiftneg(o0, stride, q_col)
+                mono1 = shiftneg(o1, stride, q_col)
+                plus0 = modadd_vec(e0, mono0, q_col)
+                plus1 = modadd_vec(e1, mono1, q_col)
+                auto0 = automorph(modsub_vec(e0, mono0, q_col), g, q_col)
+                auto1 = automorph(modsub_vec(e1, mono1, q_col), g, q_col)
                 d0, d1 = key_switch_raw(ctx, auto1, galois_keys[g])
-                next0 = np.empty_like(plus0)
-                next1 = np.empty_like(plus1)
-                for i, q in enumerate(basis):
-                    next0[i] = modadd_vec(
-                        plus0[i], modadd_vec(auto0[i], d0[i], q), q
-                    )
-                    next1[i] = modadd_vec(plus1[i], d1[i], q)
-                c0, c1 = next0, next1
-    obs.inc("he.pack.calls")
-    packed = RlweCiphertext(ctx, basis, c0[:, 0], c1[:, 0])
-    return PackedResult(
-        ct=packed, count=count, scale_pow2=levels, reductions=target - 1
-    )
+                c0 = modadd_vec(plus0, modadd_vec(auto0, d0, q_col), q_col)
+                c1 = modadd_vec(plus1, d1, q_col)
+    return c0[:, :, 0], c1[:, :, 0], levels, target
 
 
 def pack_reduction_count(m: int) -> int:

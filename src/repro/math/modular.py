@@ -2,8 +2,26 @@
 
 CHAM's moduli are at most 39 bits wide (``p = 2**38 + 2**23 + 1``), so a
 product of two residues can reach 78 bits and does not fit in a NumPy
-``uint64``.  :func:`modmul_vec` therefore splits the left operand at
-``SPLIT_BITS`` bits so that every intermediate product stays below 2**60.
+``uint64``.  Three exact multiply paths coexist:
+
+* :func:`modmul_vec_split` — the original reference path: split the left
+  operand at ``SPLIT_BITS`` bits so every intermediate stays below
+  2**62.  This is the **differential oracle** the fast paths are
+  cross-checked against; it is deliberately left untouched.
+* :func:`modmul_vec_barrett` — the default fast path: a floating-point
+  Barrett reduction with the per-modulus reciprocal ``mu = RN(1/q)``
+  precomputed in :class:`_ReducerCache`.  One float multiply estimates
+  the quotient to within ±1; wrap-around ``uint64`` arithmetic recovers
+  the exact remainder with two conditional subtractions (proof in the
+  docstring).  Roughly 3x fewer integer divisions per element than the
+  split path.
+* an opt-in numba JIT kernel set (:mod:`repro.math.jit`) behind the
+  ``REPRO_JIT=1`` feature flag — same split-multiply formula compiled
+  per element, used only when numba is importable.
+
+:func:`modmul_vec` dispatches between them; all three are bit-identical
+by construction and by the property tests in
+``tests/test_fastpath_properties.py``.
 
 The module also provides the *hardware* reduction path used by CHAM: the
 paper chooses low-Hamming-weight primes (three non-zero bits each) so that
@@ -16,11 +34,12 @@ test-suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
 from ..obs.metrics import REGISTRY as _METRICS
+from . import jit as _jit
 
 __all__ = [
     "MAX_MODULUS_BITS",
@@ -29,6 +48,8 @@ __all__ = [
     "modsub_vec",
     "modneg_vec",
     "modmul_vec",
+    "modmul_vec_split",
+    "modmul_vec_barrett",
     "modmul_scalar_vec",
     "modpow",
     "modinv",
@@ -54,36 +75,153 @@ _SHIFT = np.uint64(SPLIT_BITS)
 
 IntArray = np.ndarray
 
+#: A modulus argument: a plain int, or a ``uint64`` array broadcastable
+#: against the operands (one modulus per RNS limb slice — the fused-limb
+#: kernels pass a ``(L, 1, ..., 1)`` column).
+ModulusLike = Union[int, np.integer, IntArray]
+
 
 def _as_u64(a: Union[IntArray, int, Iterable[int]]) -> IntArray:
     return np.asarray(a, dtype=np.uint64)
 
 
-def modadd_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
-    """Coefficient-wise ``(a + b) mod q`` (the MODADD unit of Table I)."""
+def _q_u64(q: ModulusLike) -> Union[np.uint64, IntArray]:
+    """The modulus as a ``uint64`` scalar (int input) or array (column)."""
+    if isinstance(q, (int, np.integer)):
+        return np.uint64(q)
+    return _as_u64(q)
+
+
+def modadd_vec(a: IntArray, b: IntArray, q: ModulusLike) -> IntArray:
+    """Coefficient-wise ``(a + b) mod q`` (the MODADD unit of Table I).
+
+    Selection by unsigned minimum: with ``a, b < q`` the sum is below
+    ``2q``, so exactly one of ``s`` and ``s - q`` lies in ``[0, q)`` and
+    the other is either ``>= q`` or wraps around to an enormous value —
+    ``min`` picks the reduced one in one pass fewer than a masked
+    ``where``.
+    """
     a = _as_u64(a)
     b = _as_u64(b)
+    qq = _q_u64(q)
     s = a + b
-    return np.where(s >= np.uint64(q), s - np.uint64(q), s)
+    return np.minimum(s, s - qq)
 
 
-def modsub_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
-    """Coefficient-wise ``(a - b) mod q``."""
+def modsub_vec(a: IntArray, b: IntArray, q: ModulusLike) -> IntArray:
+    """Coefficient-wise ``(a - b) mod q`` (unsigned-min selection)."""
     a = _as_u64(a)
     b = _as_u64(b)
-    qq = np.uint64(q)
-    return np.where(a >= b, a - b, a + qq - b)
+    qq = _q_u64(q)
+    d = a - b  # wraps around when a < b
+    return np.minimum(d, d + qq)
 
 
-def modneg_vec(a: IntArray, q: int) -> IntArray:
+def modneg_vec(a: IntArray, q: ModulusLike) -> IntArray:
     """Coefficient-wise ``(-a) mod q``."""
     a = _as_u64(a)
-    qq = np.uint64(q)
+    qq = _q_u64(q)
     return np.where(a == 0, a, qq - a)
 
 
-def modmul_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
-    """Coefficient-wise ``(a * b) mod q`` for ``q < 2**MAX_MODULUS_BITS``.
+class _Reducer:
+    """Precomputed Barrett constants for one modulus.
+
+    ``mu`` is the round-to-nearest ``float64`` reciprocal ``RN(1/q)`` —
+    the 53-bit analogue of the classical integer ``mu = floor(2^2k/q)``.
+    """
+
+    __slots__ = ("qq", "mu")
+
+    def __init__(self, q: int) -> None:
+        self.qq = np.uint64(q)
+        self.mu = np.float64(1.0) / np.float64(q)
+
+
+class _ReducerCache:
+    """Tiny per-modulus cache of :class:`_Reducer` constants.
+
+    The working set is the handful of RNS moduli of the active parameter
+    set, so an unbounded dict is fine; lookups are one hash of an int.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _Reducer] = {}
+
+    def get(self, q: int) -> _Reducer:
+        entry = self._entries.get(q)
+        if entry is None:
+            entry = self._entries[q] = _Reducer(q)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_REDUCERS = _ReducerCache()
+
+#: Reciprocal cache for *frozen* modulus columns, keyed by ``id`` of the
+#: read-only root array.  Entries hold a strong reference to the root, so
+#: an id can never be recycled while its entry lives — the ``is`` check
+#: on lookup is belt-and-braces.  The working set is one column per RNS
+#: basis in the process.
+_COLUMN_CACHE: Dict[int, Tuple[IntArray, np.ndarray]] = {}
+
+
+def _column_mu(qq: IntArray) -> Union[np.ndarray, None]:
+    """Cached ``RN(1/q)`` for a frozen modulus column, else ``None``.
+
+    The fused-limb kernels pass reshaped *views* of a per-basis frozen
+    ``modulus_column`` on every call; resolving the view to its read-only
+    root array lets us validate the bit width and compute the Barrett
+    reciprocal once per basis instead of once per modmul.  Returns the
+    reciprocal shaped like ``qq``, or ``None`` when ``qq`` is not a
+    cacheable view (mutable, sliced, or non-contiguous — the caller then
+    computes ``mu`` directly).
+    """
+    root = qq.base if qq.base is not None else qq
+    if (
+        not isinstance(root, np.ndarray)
+        or root.flags.writeable
+        or root.dtype != np.uint64
+        or root.size != qq.size
+        or not qq.flags.c_contiguous
+    ):
+        return None
+    entry = _COLUMN_CACHE.get(id(root))
+    if entry is None or entry[0] is not root:
+        flat = np.ascontiguousarray(root).reshape(-1)
+        bits = int(flat.max()).bit_length()
+        if bits > MAX_MODULUS_BITS:
+            raise ValueError(
+                f"modulus column max is {bits} bits; "
+                f"modmul_vec supports at most {MAX_MODULUS_BITS}"
+            )
+        entry = (root, 1.0 / flat.astype(np.float64))
+        _COLUMN_CACHE[id(root)] = entry
+    return entry[1].reshape(qq.shape)
+
+
+def _check_modulus_bits(q: ModulusLike) -> None:
+    if isinstance(q, (int, np.integer)):
+        bits = int(q).bit_length()
+    else:
+        qq = _as_u64(q)
+        if _column_mu(qq) is not None:
+            return  # validated when the column entered the cache
+        bits = int(qq.max()).bit_length()
+    if bits > MAX_MODULUS_BITS:
+        raise ValueError(
+            f"modulus {q} is {bits} bits; "
+            f"modmul_vec supports at most {MAX_MODULUS_BITS}"
+        )
+
+
+def modmul_vec_split(a: IntArray, b: IntArray, q: int) -> IntArray:
+    """Coefficient-wise ``(a * b) mod q`` via the split-operand path.
+
+    This is the original reference implementation and the differential
+    oracle of the Barrett/JIT fast paths — do not "optimize" it.
 
     Exactness argument: write ``a = a_hi * 2**20 + a_lo``.  With
     ``a, b < q < 2**41`` every intermediate below is at most
@@ -91,25 +229,103 @@ def modmul_vec(a: IntArray, b: IntArray, q: int) -> IntArray:
     (the shifted reduced high part), ``2**20 * 2**41 = 2**61``
     (``a_lo * b``), or their sum ``< 2**62`` — all inside ``uint64``.
     """
-    if q.bit_length() > MAX_MODULUS_BITS:
-        raise ValueError(
-            f"modulus {q} is {q.bit_length()} bits; "
-            f"modmul_vec supports at most {MAX_MODULUS_BITS}"
-        )
     a = _as_u64(a)
     b = _as_u64(b)
-    if _METRICS.enabled:
-        _METRICS.inc("math.modmul.calls")
-        _METRICS.inc("math.modmul.coefficients", int(max(a.size, b.size)))
     qq = np.uint64(q)
     hi = (a >> _SHIFT) * b % qq
     lo = (a & _LOW_MASK) * b % qq
     return ((hi << _SHIFT) + lo) % qq
 
 
-def modmul_scalar_vec(a: IntArray, s: int, q: int) -> IntArray:
-    """``(a * s) mod q`` with a scalar right operand."""
-    return modmul_vec(a, np.uint64(s % q), q)
+def modmul_vec_barrett(a: IntArray, b: IntArray, q: ModulusLike) -> IntArray:
+    """Coefficient-wise ``(a * b) mod q`` via floating-point Barrett.
+
+    Exactness: with ``a, b < q < 2**41`` the true product ``p = a*b`` is
+    below ``2**82`` and the true quotient ``p/q`` below ``2**41``.  The
+    estimate ``est = fl(fl(a) * fl(b) * mu)`` accumulates at most three
+    roundings of relative size ``2**-53`` on top of ``mu``'s own, so
+    ``|est - p/q| < 2**41 * 2**-51 < 1``, hence
+    ``floor(est) in {Q-1, Q, Q+1}`` for ``Q = floor(p/q)``.  The raw
+    residue ``r = p - floor(est)*q`` then lies in ``(-q, 2q)``; computed
+    in wrap-around ``uint64`` arithmetic exactly one of
+    ``{r, r+q, r-q}`` equals the true remainder in ``[0, q)`` while the
+    other two either exceed ``q`` or wrap around to values near
+    ``2**64`` — an unsigned minimum selects it exactly.
+
+    ``q`` may be an array column (one modulus per leading slice), which
+    is what the fused-limb NTT and key-switch kernels rely on.
+    """
+    a = _as_u64(a)
+    b = _as_u64(b)
+    if isinstance(q, (int, np.integer)):
+        red = _REDUCERS.get(int(q))
+        return _barrett_core(a, b, red.qq, red.mu)
+    qq = _as_u64(q)
+    mu = _column_mu(qq)
+    if mu is None:
+        mu = 1.0 / qq.astype(np.float64)
+    return _barrett_core(a, b, qq, mu)
+
+
+def _barrett_core(
+    a: IntArray,
+    b: IntArray,
+    qq: Union[np.uint64, IntArray],
+    mu: Union[np.float64, np.ndarray],
+) -> IntArray:
+    est = (a.astype(np.float64) * b.astype(np.float64) * mu).astype(np.uint64)
+    # the quotient estimate is off by at most one, so the raw residue is
+    # in (-q, 2q): exactly one of {r, r+q, r-q} lands in [0, q) and
+    # uint64 wrap-around makes the other two enormous — unsigned min
+    # selects the exact remainder (see modmul_vec_barrett docstring)
+    r = a * b - est * qq
+    return np.minimum(np.minimum(r, r + qq), r - qq)
+
+
+def modmul_vec(a: IntArray, b: IntArray, q: ModulusLike) -> IntArray:
+    """Coefficient-wise ``(a * b) mod q`` for ``q < 2**MAX_MODULUS_BITS``.
+
+    Dispatches to the numba JIT kernels when the ``REPRO_JIT=1`` feature
+    flag is active (and numba is importable), else to the Barrett fast
+    path (:func:`modmul_vec_barrett`).  Both are bit-identical to the
+    :func:`modmul_vec_split` oracle.
+    """
+    a = _as_u64(a)
+    b = _as_u64(b)
+    if _METRICS.enabled:
+        _METRICS.inc("math.modmul.calls")
+        # count the *broadcast* result size, not the larger operand: a
+        # (L, 1, n) x (L, rows, n) product touches L*rows*n coefficients
+        _METRICS.inc(
+            "math.modmul.coefficients",
+            int(np.prod(np.broadcast_shapes(a.shape, b.shape), dtype=np.int64)),
+        )
+    if isinstance(q, (int, np.integer)):
+        _check_modulus_bits(q)
+        if _jit.enabled():
+            return _jit.modmul(a, b, int(q))
+        red = _REDUCERS.get(int(q))
+        return _barrett_core(a, b, red.qq, red.mu)
+    qq = _as_u64(q)
+    mu = _column_mu(qq)
+    if mu is None:
+        _check_modulus_bits(qq)
+        mu = 1.0 / qq.astype(np.float64)
+    return _barrett_core(a, b, qq, mu)
+
+
+def modmul_scalar_vec(a: IntArray, s: Union[int, np.integer], q: int) -> IntArray:
+    """``(a * s) mod q`` with a scalar right operand.
+
+    The scalar is normalized exactly once (Python-int arithmetic, so
+    negative and ``np.integer`` scalars reduce correctly into ``[0, q)``)
+    and the product then goes through the already-reduced fast path.
+    """
+    if isinstance(s, bool) or not isinstance(s, (int, np.integer)):
+        raise TypeError(
+            f"modmul_scalar_vec needs an integer scalar, got {type(s).__name__}"
+        )
+    return modmul_vec(a, np.uint64(int(s) % q), q)
 
 
 def modpow(base: int, exp: int, q: int) -> int:

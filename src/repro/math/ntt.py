@@ -36,6 +36,8 @@ __all__ = [
     "bit_reverse_indices",
     "freeze_array",
     "NegacyclicNtt",
+    "FusedLimbNtt",
+    "fused_limb_ntt",
     "ntt",
     "intt",
     "negacyclic_convolution_schoolbook",
@@ -112,6 +114,10 @@ class NegacyclicNtt:
         self.n = n
         self.q = q
         self._psis, self._inv_psis, self._n_inv = _tables(n, q)
+        # per-stage twiddle views, hoisted out of the butterfly loop:
+        # contiguous (1, m, 1) slabs so no per-call slice/reshape/copy
+        self._fwd_stages = _stage_slabs(self._psis, forward=True)
+        self._inv_stages = _stage_slabs(self._inv_psis, forward=False)
 
     # -- transforms ---------------------------------------------------------
 
@@ -123,17 +129,16 @@ class NegacyclicNtt:
             raise ValueError(f"last axis must have length {n}")
         shape = a.shape
         work = a.reshape(-1, n).copy()
-        t = n
-        m = 1
-        while m < n:
-            t //= 2
+        for m, t, twiddle in self._fwd_stages:
             blocks = work.reshape(work.shape[0], m, 2 * t)
-            twiddle = self._psis[m : 2 * m].reshape(1, m, 1)
-            u = blocks[:, :, :t].copy()
+            # views are safe: the mod ops allocate fresh outputs, so both
+            # halves are computed before either assignment writes back
+            u = blocks[:, :, :t]
             v = modmul_vec(blocks[:, :, t:], twiddle, q)
-            blocks[:, :, :t] = modadd_vec(u, v, q)
-            blocks[:, :, t:] = modsub_vec(u, v, q)
-            m *= 2
+            s = modadd_vec(u, v, q)
+            d = modsub_vec(u, v, q)
+            blocks[:, :, :t] = s
+            blocks[:, :, t:] = d
         if _METRICS.enabled:
             _METRICS.inc("math.ntt.forward", work.shape[0])
         return work.reshape(shape)
@@ -146,17 +151,14 @@ class NegacyclicNtt:
             raise ValueError(f"last axis must have length {n}")
         shape = a.shape
         work = a.reshape(-1, n).copy()
-        t = 1
-        m = n // 2
-        while m >= 1:
+        for m, t, twiddle in self._inv_stages:
             blocks = work.reshape(work.shape[0], m, 2 * t)
-            twiddle = self._inv_psis[m : 2 * m].reshape(1, m, 1)
-            u = blocks[:, :, :t].copy()
-            v = blocks[:, :, t:].copy()
-            blocks[:, :, :t] = modadd_vec(u, v, q)
-            blocks[:, :, t:] = modmul_vec(modsub_vec(u, v, q), twiddle, q)
-            t *= 2
-            m //= 2
+            u = blocks[:, :, :t]
+            v = blocks[:, :, t:]
+            s = modadd_vec(u, v, q)
+            d = modmul_vec(modsub_vec(u, v, q), twiddle, q)
+            blocks[:, :, :t] = s
+            blocks[:, :, t:] = d
         work = modmul_vec(work, np.uint64(self._n_inv), q)
         if _METRICS.enabled:
             _METRICS.inc("math.ntt.inverse", work.shape[0])
@@ -173,9 +175,132 @@ class NegacyclicNtt:
         return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
 
 
+class FusedLimbNtt:
+    """Negacyclic NTT over a whole RNS limb stack in one butterfly sweep.
+
+    The per-limb :class:`NegacyclicNtt` path issues ``L`` separate
+    transforms per stack — ``L * log2(n)`` butterfly stages of small
+    NumPy calls whose interpreter overhead dominates at CHAM's ring
+    sizes.  This context stacks the merged twiddle tables of all ``L``
+    moduli into contiguous ``(L, 1, m, 1)`` per-stage slabs and runs
+    *one* butterfly sweep over the full ``(L, ..., n)`` stack, with the
+    per-limb modulus broadcast as a ``(L, 1, 1, 1)`` column through the
+    Barrett modmul.  Output is bit-identical per limb to the per-limb
+    path (same butterflies, same exact arithmetic) — the equivalence
+    suite pins it.
+
+    This is the software mirror of CHAM's limb-parallel NTT lanes
+    (Section III-B): all residue channels advance through the same
+    stage schedule in lock-step, which is also what makes the schedule
+    hazard-free in the HF-NTT sense — no cross-limb data dependencies.
+    """
+
+    def __init__(self, n: int, moduli: Tuple[int, ...]) -> None:
+        if not moduli:
+            raise ValueError("need at least one modulus")
+        self.n = n
+        self.moduli = tuple(int(q) for q in moduli)
+        per_limb = [_tables(n, q) for q in self.moduli]
+        psis = np.stack([t[0] for t in per_limb])
+        inv_psis = np.stack([t[1] for t in per_limb])
+        self._n_inv = freeze_array(
+            np.array([t[2] for t in per_limb], dtype=np.uint64).reshape(-1, 1, 1)
+        )
+        # .copy() so the column owns its buffer: the modmul column cache
+        # resolves views to their read-only root array, and a root that
+        # is itself a view of a mutable temporary is not cacheable
+        self._q_col = freeze_array(
+            np.array(self.moduli, dtype=np.uint64).reshape(-1, 1, 1, 1).copy()
+        )
+        self._q_flat = freeze_array(self._q_col.reshape(-1, 1, 1))
+        self._fwd_stages = _stage_slabs(psis, forward=True, fused=True)
+        self._inv_stages = _stage_slabs(inv_psis, forward=False, fused=True)
+
+    def _prepare(self, a: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        a = np.ascontiguousarray(np.asarray(a, dtype=np.uint64))
+        if a.ndim < 2 or a.shape[0] != len(self.moduli) or a.shape[-1] != self.n:
+            raise ValueError(
+                f"expected a ({len(self.moduli)}, ..., {self.n}) limb stack, "
+                f"got shape {a.shape}"
+            )
+        return a.reshape(len(self.moduli), -1, self.n).copy(), a.shape
+
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Forward NTT of every limb of a ``(L, ..., n)`` stack at once."""
+        work, shape = self._prepare(a)
+        q = self._q_col
+        for m, t, twiddle in self._fwd_stages:
+            blocks = work.reshape(work.shape[0], work.shape[1], m, 2 * t)
+            u = blocks[:, :, :, :t]
+            v = modmul_vec(blocks[:, :, :, t:], twiddle, q)
+            s = modadd_vec(u, v, q)
+            d = modsub_vec(u, v, q)
+            blocks[:, :, :, :t] = s
+            blocks[:, :, :, t:] = d
+        if _METRICS.enabled:
+            _METRICS.inc("math.ntt.forward", work.shape[0] * work.shape[1])
+        return work.reshape(shape)
+
+    def inverse(self, a: np.ndarray) -> np.ndarray:
+        """Inverse NTT of every limb of a ``(L, ..., n)`` stack at once."""
+        work, shape = self._prepare(a)
+        q = self._q_col
+        for m, t, twiddle in self._inv_stages:
+            blocks = work.reshape(work.shape[0], work.shape[1], m, 2 * t)
+            u = blocks[:, :, :, :t]
+            v = blocks[:, :, :, t:]
+            s = modadd_vec(u, v, q)
+            d = modmul_vec(modsub_vec(u, v, q), twiddle, q)
+            blocks[:, :, :, :t] = s
+            blocks[:, :, :, t:] = d
+        work = modmul_vec(work, self._n_inv, self._q_flat)
+        if _METRICS.enabled:
+            _METRICS.inc("math.ntt.inverse", work.shape[0] * work.shape[1])
+        return work.reshape(shape)
+
+
+def _stage_slabs(table: np.ndarray, forward: bool, fused: bool = False):
+    """Hoisted per-stage twiddle slabs for the butterfly loops.
+
+    ``table`` is the merged-order twiddle vector ``(n,)`` (per-limb) or
+    stack ``(L, n)`` (fused).  Returns ``[(m, t, twiddle), ...]`` in
+    stage order with each ``twiddle`` a frozen contiguous array shaped
+    to broadcast over ``(batch, m, t)`` butterflies (with a leading limb
+    axis in the fused layout).
+    """
+    n = table.shape[-1]
+    stages = []
+    if forward:
+        m, t = 1, n
+        while m < n:
+            t //= 2
+            stages.append((m, t))
+            m *= 2
+    else:
+        m, t = n // 2, 1
+        while m >= 1:
+            stages.append((m, t))
+            t *= 2
+            m //= 2
+    out = []
+    for m, t in stages:
+        slab = table[..., m : 2 * m]
+        shape = (-1, 1, m, 1) if fused else (1, m, 1)
+        out.append(
+            (m, t, freeze_array(np.ascontiguousarray(slab).reshape(shape)))
+        )
+    return out
+
+
 @lru_cache(maxsize=None)
 def _context(n: int, q: int) -> NegacyclicNtt:
     return NegacyclicNtt(n, q)
+
+
+@lru_cache(maxsize=None)
+def fused_limb_ntt(n: int, moduli: Tuple[int, ...]) -> FusedLimbNtt:
+    """Cached :class:`FusedLimbNtt` per ``(n, moduli)`` pair."""
+    return FusedLimbNtt(n, moduli)
 
 
 def ntt(a: np.ndarray, q: int) -> np.ndarray:

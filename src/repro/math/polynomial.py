@@ -22,6 +22,7 @@ from typing import Union
 import numpy as np
 
 from .modular import (
+    ModulusLike,
     modadd_vec,
     modinv,
     modmul_vec,
@@ -46,7 +47,7 @@ def rev(coeffs: np.ndarray, q: int) -> np.ndarray:
     return np.asarray(coeffs, dtype=np.uint64)[..., ::-1].copy()
 
 
-def shiftneg(coeffs: np.ndarray, s: int, q: int) -> np.ndarray:
+def shiftneg(coeffs: np.ndarray, s: int, q: ModulusLike) -> np.ndarray:
     """SHIFTNEG of Table I: multiply by the monomial ``X^s`` in
     ``Z_q[X]/(X^N+1)``.
 
@@ -97,7 +98,7 @@ def automorph_permutation(n: int, k: int) -> "tuple[np.ndarray, np.ndarray]":
     return freeze_array(src), freeze_array(flip)
 
 
-def automorph(coeffs: np.ndarray, k: int, q: int) -> np.ndarray:
+def automorph(coeffs: np.ndarray, k: int, q: ModulusLike) -> np.ndarray:
     """AUTOMORPH of Table I: ``a_i -> (-1)^{floor(ik/N)} a_{ik mod N}``."""
     a = np.asarray(coeffs, dtype=np.uint64)
     src, flip = automorph_permutation(a.shape[-1], k)

@@ -23,7 +23,7 @@ from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
-from .modular import modinv, modmul_vec, modsub_vec, reduce_signed_vec
+from .modular import modadd_vec, modinv, modmul_vec, modsub_vec, reduce_signed_vec
 from .primes import is_ntt_friendly
 
 __all__ = ["RnsBasis", "RnsPoly"]
@@ -73,6 +73,37 @@ class RnsBasis:
             modinv(qi_hat % qi, qi)
             for qi_hat, qi in zip(self.punctured, self.moduli)
         )
+
+    @cached_property
+    def modulus_column(self) -> np.ndarray:
+        """The moduli as a frozen ``(L,)`` ``uint64`` array.
+
+        Callers reshape it into a broadcast column (``(L, 1, ..., 1)``)
+        for the fused-limb kernels that carry one modulus per slice.
+        """
+        col = np.array(self.moduli, dtype=np.uint64)
+        col.flags.writeable = False
+        return col
+
+    @cached_property
+    def _rescale_constants(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-limb constants of :meth:`rescale_last`, precomputed once.
+
+        ``(q, p^{-1} mod q, (q - p mod q))`` for each retained modulus
+        ``q`` — the values the old per-limb loop recomputed on every
+        call (including a Python ``modinv``).
+        """
+        p = self.moduli[-1]
+        qs = np.array(self.moduli[:-1], dtype=np.uint64)
+        p_inv = np.array(
+            [modinv(p % q, q) for q in self.moduli[:-1]], dtype=np.uint64
+        )
+        p_neg = np.array(
+            [q - p % q for q in self.moduli[:-1]], dtype=np.uint64
+        )
+        for arr in (qs, p_inv, p_neg):
+            arr.flags.writeable = False
+        return qs, p_inv, p_neg
 
     def __len__(self) -> int:
         return len(self.moduli)
@@ -198,19 +229,22 @@ class RnsBasis:
         p = self.moduli[-1]
         xp = residues[-1]
         half = np.uint64(p // 2)
-        out = []
-        for i, q in enumerate(self.moduli[:-1]):
-            p_inv = np.uint64(modinv(p % q, q))
-            # centered remainder of x mod p, reduced into [0, q)
-            rem = np.where(
-                xp > half,
-                # negative centered value: xp - p ≡ xp + (q - p mod q)
-                (xp % np.uint64(q) + np.uint64(q - p % q)) % np.uint64(q),
-                xp % np.uint64(q),
-            )
-            diff = modsub_vec(residues[i], rem, q)
-            out.append(modmul_vec(diff, p_inv, q))
-        return np.stack(out)
+        # one broadcast pass over every retained limb at once — the
+        # ``(L-1, *batch, n)`` stack is what the fused key-switch and the
+        # batched dot/rescale/extract kernels hand in
+        qs, p_inv, p_neg = self._rescale_constants
+        col = (len(self.moduli) - 1,) + (1,) * (residues.ndim - 1)
+        q_col = qs.reshape(col)
+        # centered remainder of x mod p, reduced into [0, q): a value
+        # above p/2 means the negative representative xp - p
+        xq = xp[np.newaxis] % q_col
+        rem = np.where(
+            xp[np.newaxis] > half,
+            modadd_vec(xq, p_neg.reshape(col), q_col),
+            xq,
+        )
+        diff = modsub_vec(residues[:-1], rem, q_col)
+        return modmul_vec(diff, p_inv.reshape(col), q_col)
 
 
 @dataclass

@@ -82,6 +82,41 @@ def test_modmul_scalar(rng):
     assert np.array_equal(got.astype(object), want)
 
 
+def test_modmul_scalar_negative_and_np_integer(rng):
+    """Regression: negative and ``np.integer`` scalars must normalize
+    exactly once into [0, q) — the old path double-reduced ``np.int64``
+    inputs and crashed on negatives with an opaque cast error."""
+    q = CHAM_Q1
+    a = rng.integers(0, q, 64, dtype=np.uint64)
+    for s in (-123456789, np.int64(-5), np.int64(7), -1, q - 1, -(q + 3)):
+        got = modmul_scalar_vec(a, s, q)
+        want = (a.astype(object) * (int(s) % q)) % q
+        assert np.array_equal(got.astype(object), want), s
+
+
+def test_modmul_scalar_rejects_non_integer():
+    a = np.array([1, 2], dtype=np.uint64)
+    for bad in (1.5, True, "3", None):
+        with pytest.raises(TypeError, match="integer scalar"):
+            modmul_scalar_vec(a, bad, CHAM_Q0)
+
+
+def test_modmul_metrics_count_broadcast_result(rng):
+    """Regression: the coefficient counter must report the *broadcast*
+    result size — ``max(a.size, b.size)`` undercounted a ``(L, 1, n) x
+    (L, rows, n)`` product by a factor of ``rows``."""
+    from repro.obs.metrics import REGISTRY
+
+    q = CHAM_Q0
+    a = rng.integers(0, q, (3, 1, 16), dtype=np.uint64)
+    b = rng.integers(0, q, (3, 5, 16), dtype=np.uint64)
+    REGISTRY.enabled = True
+    before = REGISTRY.snapshot()["counters"].get("math.modmul.coefficients", 0)
+    modmul_vec(a, b, q)
+    after = REGISTRY.snapshot()["counters"]["math.modmul.coefficients"]
+    assert after - before == 3 * 5 * 16
+
+
 def test_modpow_and_modinv():
     q = CHAM_Q0
     assert modpow(3, q - 1, q) == 1  # Fermat

@@ -178,6 +178,54 @@ def test_batched_pack_too_many_raises(ctx128, sk128, galois128, enc, rng):
         pack_lwes_batched(lwes, galois128)
 
 
+@pytest.mark.parametrize("reqs,count", [(1, 4), (3, 4), (4, 7)])
+def test_pack_many_matches_per_request(ctx128, sk128, galois128, enc, rng, reqs, count):
+    """Cross-request pack: pack_stacked_lwes_many must return, for every
+    request, exactly the ciphertext pack_stacked_lwes yields when run on
+    that request alone — the R pack trees share one level schedule but
+    must not mix data across the request axis."""
+    from repro.he.packing import pack_stacked_lwes, pack_stacked_lwes_many
+
+    basis = ctx128.ct_basis
+    b = np.stack(
+        [
+            np.stack(
+                [rng.integers(0, q, count, dtype=np.uint64) for q in basis]
+            )
+            for _ in range(reqs)
+        ],
+        axis=1,
+    )  # (L, R, m)
+    a = np.stack(
+        [
+            np.stack(
+                [rng.integers(0, q, (count, 128), dtype=np.uint64) for q in basis]
+            )
+            for _ in range(reqs)
+        ],
+        axis=1,
+    )  # (L, R, m, n)
+    many = pack_stacked_lwes_many(ctx128, basis, b, a, galois128)
+    assert len(many) == reqs
+    for r in range(reqs):
+        one = pack_stacked_lwes(ctx128, basis, b[:, r], a[:, r], galois128)
+        assert np.array_equal(many[r].ct.c0, one.ct.c0)
+        assert np.array_equal(many[r].ct.c1, one.ct.c1)
+        assert many[r].count == one.count == count
+        assert many[r].scale_pow2 == one.scale_pow2
+        assert many[r].reductions == one.reductions
+
+
+def test_pack_many_rejects_flat_stack(ctx128, galois128):
+    from repro.he.packing import pack_stacked_lwes_many
+
+    basis = ctx128.ct_basis
+    b = np.zeros((len(basis), 4), dtype=np.uint64)
+    a = np.zeros((len(basis), 4, 128), dtype=np.uint64)
+    with pytest.raises(ValueError, match=r"\(L, R, m\)"):
+        pack_stacked_lwes_many(ctx128, basis, b, a, galois128)
+
+
 def test_batched_keyswitch_matches_sequential(ctx128, sk128, galois128, rng):
     """key_switch_raw over a (L, batch, n) stack equals per-poly calls."""
     from repro.he.keyswitch import key_switch_raw

@@ -179,6 +179,9 @@ def test_shipped_floors_match_bench_metrics():
         "batch": {
             "cold_s", "warm_s", "speedup", "amortized_ntts_per_vector",
         },
+        "keyswitch": {
+            "ops_per_s_single", "ops_per_s_batched",
+        },
     }
     assert floors["checks"], "shipped floors pin no checks"
     for check in floors["checks"]:
