@@ -1,0 +1,150 @@
+"""Extension bench — elastic membership under churn (ISSUE 8).
+
+The elastic controller's economic claim: scale events cost *migrations*
+(cache-to-cache copies of already-NTT'd matrix entries), never matrix
+re-encodes, and churn barely dents goodput.  This bench drives one
+request list through a 4 -> 2 -> 6 node schedule (two kills mid-run,
+then four joins) at a 5% injected node-hang rate and records:
+
+* simulated goodput vs the *static* 4-node run on identical data —
+  acceptance is elastic goodput >= 0.8x static, with zero dropped
+  requests on both;
+* the migration ledger: ``migrated_entries`` must be positive (shards
+  really moved) and ``reencodes`` must be **zero** (nothing was ever
+  re-encoded — the proof the re-partitioning is incremental).
+
+Results append to ``BENCH_elastic.json`` via ``record_result``.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table, record_result
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterExecutor,
+    MembershipSchedule,
+    PartitionPlanner,
+)
+
+REQUESTS = 18
+ROWS, COLS = 96, 256
+#: a 4x2 shard grid (8 shards) so the incremental rebalance has real
+#: granularity to shift load onto joiners — 2 primaries per node at 4
+ROW_CUTS = (0, 24, 48, 72, 96)
+COL_CUTS = (0, 128, 256)
+FAULT_RATE = 0.05
+INITIAL_NODES = 4
+#: 4 -> 2 at request 8 (two abrupt kills), 2 -> 6 at request 12 (four joins)
+SCHEDULE_SPEC = "8:kill:3,8:kill:2,12:join,12:join,12:join,12:join"
+
+
+@pytest.fixture(scope="module")
+def workload(bench_scheme, rng):
+    matrix = rng.integers(-30, 30, (ROWS, COLS))
+    vectors = [rng.integers(-30, 30, COLS) for _ in range(REQUESTS)]
+    return matrix, vectors
+
+
+def _run(bench_scheme, workload, schedule=None):
+    matrix, vectors = workload
+    plan = PartitionPlanner(bench_scheme.params.n).plan_from_cuts(
+        ROWS, COLS, ROW_CUTS, COL_CUTS
+    )
+    executor = ClusterExecutor(
+        bench_scheme,
+        matrix,
+        config=ClusterConfig(
+            nodes=INITIAL_NODES,
+            replication=2,
+            max_retries=1,
+            fault_rate=FAULT_RATE,
+            seed=17,
+        ),
+        plan=plan,
+        schedule=schedule,
+    )
+    requests = [executor.encrypt_vector(v) for v in vectors]
+    results = executor.execute_batch(requests)
+    return executor, results
+
+
+def test_elastic_goodput_survives_scale_schedule(bench_scheme, workload):
+    """Acceptance: the 4 -> 2 -> 6 churn run keeps >= 0.8x the static
+    4-node goodput, drops nothing, migrates entries, re-encodes never."""
+    matrix, vectors = workload
+    static_exec, _ = _run(bench_scheme, workload)
+    static = static_exec.report()
+    assert static.dropped == 0
+
+    schedule = MembershipSchedule.parse(SCHEDULE_SPEC)
+    elastic_exec, results = _run(bench_scheme, workload, schedule=schedule)
+    elastic = elastic_exec.report()
+    membership = elastic.membership
+
+    assert elastic.dropped == 0, "elastic run dropped shards"
+    # exactness spot-checks either side of both scale events
+    for idx in (0, 9, REQUESTS - 1):
+        got = results[idx].decrypt(bench_scheme)[:ROWS]
+        want = matrix.astype(object) @ vectors[idx].astype(object)
+        assert np.array_equal(got, want)
+    assert membership["kills"] == 2 and membership["joins"] == 4
+    assert membership["migrated_entries"] > 0, "scale events moved nothing"
+    assert membership["reencodes"] == 0, (
+        "a scale event re-encoded the matrix — migration is broken"
+    )
+
+    ratio = elastic.goodput_sim_rps / static.goodput_sim_rps
+    rows = [
+        (
+            label,
+            rep.nodes,
+            f"{rep.shard_retries}",
+            f"{rep.makespan_cycles:,}",
+            f"{rep.goodput_sim_rps:,.1f}",
+        )
+        for label, rep in (("static 4n", static), ("elastic 4-2-6", elastic))
+    ]
+    print_table(
+        f"Elastic 4->2->6 schedule vs static 4 nodes "
+        f"({REQUESTS} reqs, {ROWS}x{COLS}, {FAULT_RATE:.0%} hang rate)",
+        ["run", "final nodes", "retries", "makespan cyc",
+         "goodput req/s (sim)"],
+        rows,
+    )
+    print_table(
+        "Migration ledger (elastic run)",
+        ["kills", "joins", "promotions", "migrated", "reencodes",
+         "avoided", "goodput ratio"],
+        [(membership["kills"], membership["joins"],
+          membership["replica_promotions"], membership["migrated_entries"],
+          membership["reencodes"], membership["reencodes_avoided"],
+          f"{ratio:.2f}x")],
+    )
+    record_result(
+        "elastic",
+        {
+            "goodput_sim_rps_static": static.goodput_sim_rps,
+            "goodput_sim_rps_elastic": elastic.goodput_sim_rps,
+            "goodput_ratio_vs_static": ratio,
+            "makespan_cycles_elastic": elastic.makespan_cycles,
+            "migrated_entries": membership["migrated_entries"],
+            "reencodes": membership["reencodes"],
+            "reencodes_avoided": membership["reencodes_avoided"],
+            "replica_promotions": membership["replica_promotions"],
+            "dropped_total": static.dropped + elastic.dropped,
+        },
+        params={
+            "requests": REQUESTS,
+            "rows": ROWS,
+            "cols": COLS,
+            "fault_rate": FAULT_RATE,
+            "replication": 2,
+            "initial_nodes": INITIAL_NODES,
+            "schedule": SCHEDULE_SPEC,
+        },
+    )
+    assert ratio >= 0.8, (
+        f"elastic goodput only {ratio:.2f}x the static 4-node figure "
+        f"(per-node busy {elastic.per_node_busy_cycles})"
+    )

@@ -426,7 +426,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     single-engine path, so correctness here is unconditional.
     """
     from repro import obs
-    from repro.cluster import ClusterConfig, ClusterExecutor
+    from repro.cluster import ClusterConfig, ClusterExecutor, MembershipSchedule
     from repro.he.bfv import BfvScheme
     from repro.he.params import toy_params
 
@@ -444,7 +444,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         register_flip_rate=args.register_flip_rate,
         seed=args.seed,
     )
-    executor = ClusterExecutor(scheme, matrix, config=config)
+    schedule = None
+    if args.elastic or args.schedule:
+        schedule = (
+            MembershipSchedule.parse(args.schedule)
+            if args.schedule
+            else MembershipSchedule.random(
+                seed=args.seed, requests=args.requests,
+                initial_nodes=args.nodes,
+            )
+        )
+    executor = ClusterExecutor(scheme, matrix, config=config,
+                               schedule=schedule)
     vectors = [rng.integers(-40, 40, cols) for _ in range(args.requests)]
     requests = [executor.encrypt_vector(v) for v in vectors]
     results = executor.execute_batch(requests)
@@ -495,7 +506,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"{report.speedup_vs_single_node:.2f}x vs one node, per-node busy "
         f"{report.per_node_busy_cycles}"
     )
-    for node in executor.nodes:
+    if schedule is not None:
+        m = report.membership
+        print(
+            f"elastic: schedule [{schedule.to_spec()}] -> "
+            f"{m['joins']} join(s) {m['leaves']} leave(s) "
+            f"{m['kills']} kill(s), {m['migrated_entries']} cache "
+            f"entr(ies) migrated, {m['reencodes']} re-encode(s), "
+            f"{m['replica_promotions']} promotion(s)"
+        )
+    for node in sorted(executor.nodes.values(), key=lambda n: n.node_id):
         h = node.health()
         print(
             f"node{node.node_id}  : shards={node.shards_served} "
@@ -751,6 +771,14 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-retries", type=int, default=1,
                          help="extra passes over a shard's replica list")
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--elastic", action="store_true",
+                         help="enable elastic membership; without "
+                              "--schedule, a seeded random schedule is "
+                              "generated from --seed")
+    cluster.add_argument("--schedule", type=str, default=None,
+                         help="membership schedule 'seq:kind[:node],...' "
+                              "e.g. '4:kill:3,4:kill:2,8:join,8:join' "
+                              "(kinds: join/leave/kill; implies --elastic)")
     cluster.add_argument("--json", action="store_true",
                          help="dump the cluster report + counters as JSON")
     cluster.set_defaults(func=_cmd_cluster)

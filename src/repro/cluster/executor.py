@@ -43,6 +43,8 @@ from ..hw.arch import ChamConfig, cham_default_config
 from ..hw.perf import CpuCostModel
 from ..hw.runtime import DeviceHangError, FaultInjector, JobState, RegisterLoadError
 from ..math.modular import modadd_vec
+from .autoscaler import Autoscaler
+from .membership import ClusterController, MembershipSchedule
 from .partition import PartitionError, PartitionPlan, PartitionPlanner, Shard
 from .placement import ClusterNode, ShardPlacement, build_nodes
 
@@ -100,6 +102,7 @@ class ClusterReport:
     requests: int
     rows: int
     cols: int
+    #: currently active node count (the initial count pre-elastic)
     nodes: int
     replication: int
     shards_per_request: int
@@ -107,12 +110,16 @@ class ClusterReport:
     shard_retries: int
     rebalance_events: int
     degraded_shards: int
-    per_node_busy_cycles: List[int]
+    #: busy cycles per node id — active nodes plus every departed one
+    #: (work a node did before leaving/dying still bounds the makespan)
+    per_node_busy_cycles: Dict[int, int]
     cpu_fallback_cycles: int
     clock_hz: float
     estimated_single_node_cycles: int
     plan: Dict[str, object] = field(default_factory=dict)
     placement: Dict[str, object] = field(default_factory=dict)
+    #: membership counters (zeros on a static, schedule-free run)
+    membership: Dict[str, object] = field(default_factory=dict)
 
     @property
     def dropped(self) -> int:
@@ -123,7 +130,9 @@ class ClusterReport:
     def makespan_cycles(self) -> int:
         """Busiest resource: the slowest node, or the CPU fallback lane."""
         return max(
-            self.per_node_busy_cycles + [self.cpu_fallback_cycles], default=0
+            list(self.per_node_busy_cycles.values())
+            + [self.cpu_fallback_cycles],
+            default=0,
         )
 
     @property
@@ -153,7 +162,10 @@ class ClusterReport:
             "rebalance_events": self.rebalance_events,
             "degraded_shards": self.degraded_shards,
             "dropped": self.dropped,
-            "per_node_busy_cycles": self.per_node_busy_cycles,
+            "per_node_busy_cycles": {
+                str(nid): cycles
+                for nid, cycles in sorted(self.per_node_busy_cycles.items())
+            },
             "cpu_fallback_cycles": self.cpu_fallback_cycles,
             "makespan_cycles": self.makespan_cycles,
             "goodput_sim_rps": self.goodput_sim_rps,
@@ -161,6 +173,7 @@ class ClusterReport:
             "speedup_vs_single_node": self.speedup_vs_single_node,
             "plan": self.plan,
             "placement": self.placement,
+            "membership": self.membership,
         }
 
 
@@ -185,6 +198,14 @@ class ClusterExecutor:
     fault_injectors:
         One per node, overriding the rate-derived defaults (scripted
         hang sequences for deterministic failover tests).
+    schedule / autoscaler:
+        Elastic membership inputs (:mod:`repro.cluster.membership` /
+        :mod:`repro.cluster.autoscaler`).  A schedule's join/leave/kill
+        events are consumed *between* requests, indexed by request
+        sequence number; the autoscaler turns queue-depth observations
+        into extra events.  Either one attaches a
+        :class:`ClusterController`; with neither, behavior is exactly
+        the static PR-5 cluster.
     """
 
     def __init__(
@@ -196,6 +217,8 @@ class ClusterExecutor:
         placement: Optional[ShardPlacement] = None,
         cham: Optional[ChamConfig] = None,
         fault_injectors: Optional[Sequence[FaultInjector]] = None,
+        schedule: Optional[MembershipSchedule] = None,
+        autoscaler: Optional[Autoscaler] = None,
     ) -> None:
         self.scheme = scheme
         self.config = config or ClusterConfig()
@@ -231,7 +254,7 @@ class ClusterExecutor:
             )
         placement.validate_against(plan)
         self.placement = placement
-        self.nodes: List[ClusterNode] = build_nodes(
+        self.nodes: Dict[int, ClusterNode] = build_nodes(
             scheme,
             matrix,
             plan,
@@ -245,6 +268,15 @@ class ClusterExecutor:
         )
         self._cpu_model = CpuCostModel()
         self._single_node_cycles_per_request = sum(costs)
+        #: shard_id -> cycle cost (the membership layer balances by these)
+        self.shard_costs: Dict[int, int] = self.planner.cost_by_shard(plan)
+        #: busy-cycle ledger of nodes that left or died (node_id -> cycles)
+        self.departed_busy_cycles: Dict[int, int] = {}
+        self.controller: Optional[ClusterController] = None
+        if schedule is not None or autoscaler is not None:
+            self.controller = ClusterController(
+                self, schedule=schedule, autoscaler=autoscaler
+            )
         tile_rows = self.config.tile_rows or ring
         if not 1 <= tile_rows <= ring:
             raise PartitionError(
@@ -486,10 +518,14 @@ class ClusterExecutor:
         budget_ms = (
             deadline_ms if deadline_ms is not None else self.config.deadline_ms
         )
+        # membership events indexed by this request's sequence number fire
+        # before it is served; placement is re-validated after every event
+        if self.controller is not None:
+            self.controller.advance(self.requests_served)
         obs.inc("cluster.requests")
         if obs.TRACER.enabled and not self._lanes_named:
             obs.TRACER.name_process(0, "cluster.coordinator")
-            for node in self.nodes:
+            for node in self.nodes.values():
                 obs.TRACER.name_process(node.node_id + 1, f"node{node.node_id}")
             self._lanes_named = True
         # each request is one trace: reuse the ambient context when a
@@ -541,24 +577,40 @@ class ClusterExecutor:
         requests: Sequence[Union[RlweCiphertext, Sequence[RlweCiphertext]]],
         deadline_ms: Optional[float] = None,
     ) -> List[HmvpResult]:
-        """Serve a request list; every request reaches a terminal result."""
-        return [self.execute(req, deadline_ms=deadline_ms) for req in requests]
+        """Serve a request list; every request reaches a terminal result.
+
+        The remaining backlog feeds the ``cluster.queue.depth`` gauge and
+        (when an autoscaler is attached) one observation per request —
+        sustained backlog scales the pool up, sustained idle scales it
+        down, all as deterministic membership events.
+        """
+        results = []
+        for i, req in enumerate(requests):
+            backlog = len(requests) - i - 1
+            obs.set_gauge("cluster.queue.depth", backlog)
+            if self.controller is not None:
+                self.controller.maybe_autoscale(self.requests_served, backlog)
+            results.append(self.execute(req, deadline_ms=deadline_ms))
+        return results
 
     # -- reporting ---------------------------------------------------------
 
     def report(self) -> ClusterReport:
+        busy = dict(self.departed_busy_cycles)
+        for nid, node in self.nodes.items():
+            busy[nid] = busy.get(nid, 0) + node.busy_cycles
         return ClusterReport(
             requests=self.requests_served,
             rows=self.rows,
             cols=self.cols,
-            nodes=self.config.nodes,
+            nodes=len(self.nodes),
             replication=self.placement.replication,
             shards_per_request=len(self.plan.shards),
             shard_executions=self.shard_executions,
             shard_retries=self.shard_retries,
             rebalance_events=self.rebalance_events,
             degraded_shards=self.degraded_shards,
-            per_node_busy_cycles=[n.busy_cycles for n in self.nodes],
+            per_node_busy_cycles=busy,
             cpu_fallback_cycles=self.cpu_fallback_cycles,
             clock_hz=self.cham.clock_hz,
             estimated_single_node_cycles=(
@@ -566,4 +618,9 @@ class ClusterExecutor:
             ),
             plan=self.plan.to_dict(),
             placement=self.placement.to_dict(),
+            membership=(
+                self.controller.to_dict()
+                if self.controller is not None
+                else {}
+            ),
         )

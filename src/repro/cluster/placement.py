@@ -13,14 +13,22 @@ processes.
 LPT greedy (longest shard first onto the least-loaded node, the policy
 :class:`repro.cluster.partition.PartitionPlanner` estimates with);
 replicas go to the least-loaded nodes not already holding the shard.
-Replicas encode the shard into their node's cache at placement time, so
-failover never pays an encode on the critical path.
+Ties between equal-load nodes break by **node id**, explicitly — the
+elastic membership layer (:mod:`repro.cluster.membership`) renumbers
+nodes as they churn, so plans must not depend on container iteration
+order.  Replicas encode the shard into their node's cache at placement
+time, so failover never pays an encode on the critical path.
+
+Node identity is a persistent integer id, *not* a dense index: after a
+node dies and another joins, the pool might be ``{0, 2, 4}``.  Both
+:class:`ShardPlacement` and :func:`build_nodes` therefore speak id sets
+(``nodes`` may still be passed as a plain count for the static case).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.batch import BatchedHmvp, EncodedMatrixCache
 from ..he.bfv import BfvScheme
@@ -28,7 +36,12 @@ from ..hw.arch import ChamConfig, cham_default_config
 from ..hw.runtime import FaultInjector, FpgaRuntime
 from .partition import PartitionError, PartitionPlan
 
-__all__ = ["ClusterNode", "ShardPlacement", "build_nodes"]
+__all__ = [
+    "ClusterNode",
+    "ShardPlacement",
+    "build_nodes",
+    "make_cluster_node",
+]
 
 
 @dataclass
@@ -50,33 +63,61 @@ class ClusterNode:
         return self.runtime.health()
 
 
+def _normalize_node_ids(
+    nodes: Union[int, Sequence[int]]
+) -> Tuple[int, ...]:
+    """A count becomes ``0..K-1``; an id collection is sorted and checked."""
+    if isinstance(nodes, int):
+        if nodes < 1:
+            raise PartitionError("need at least one node")
+        return tuple(range(nodes))
+    ids = sorted(int(n) for n in nodes)
+    if not ids:
+        raise PartitionError("need at least one node")
+    if len(set(ids)) != len(ids):
+        raise PartitionError(f"duplicate node ids in {ids}")
+    if any(n < 0 for n in ids):
+        raise PartitionError(f"negative node ids in {ids}")
+    return tuple(ids)
+
+
 class ShardPlacement:
     """Shard -> ``[primary, replica, ...]`` node assignment."""
 
     def __init__(
         self,
         assignments: Dict[int, List[int]],
-        nodes: int,
+        nodes: Union[int, Sequence[int]],
         replication: int,
     ) -> None:
         self.assignments = assignments
-        self.nodes = nodes
+        self.node_ids: Tuple[int, ...] = _normalize_node_ids(nodes)
         self.replication = replication
+
+    @property
+    def nodes(self) -> int:
+        """Active node *count* (kept for the pre-elastic call sites)."""
+        return len(self.node_ids)
 
     @classmethod
     def place(
         cls,
         plan: PartitionPlan,
-        nodes: int,
+        nodes: Union[int, Sequence[int]],
         replication: int,
         shard_costs: Optional[Sequence[int]] = None,
     ) -> "ShardPlacement":
-        """LPT-greedy primaries plus least-loaded distinct replicas."""
-        if nodes < 1:
-            raise PartitionError("need at least one node")
-        if not 1 <= replication <= nodes:
+        """LPT-greedy primaries plus least-loaded distinct replicas.
+
+        All load ties break by ``(load, node_id)`` so the plan is a pure
+        function of ``(plan, node id set, costs)`` — stable across Python
+        versions, container ordering, and elastic churn renumbering.
+        """
+        node_ids = _normalize_node_ids(nodes)
+        if not 1 <= replication <= len(node_ids):
             raise PartitionError(
-                f"replication {replication} must be in 1..nodes ({nodes})"
+                f"replication {replication} must be in "
+                f"1..nodes ({len(node_ids)})"
             )
         costs = (
             list(shard_costs)
@@ -85,24 +126,25 @@ class ShardPlacement:
         )
         if len(costs) != len(plan.shards):
             raise PartitionError("one cost per shard required")
-        loads = [0] * nodes
+        loads = {nid: 0 for nid in node_ids}
         # replicas add standby load only; bias placement by primary load
         assignments: Dict[int, List[int]] = {}
         order = sorted(
-            range(len(plan.shards)), key=lambda i: costs[i], reverse=True
+            range(len(plan.shards)),
+            key=lambda i: (-costs[i], plan.shards[i].shard_id),
         )
         for idx in order:
-            primary = min(range(nodes), key=loads.__getitem__)
+            primary = min(node_ids, key=lambda n: (loads[n], n))
             loads[primary] += costs[idx]
             chosen = [primary]
             while len(chosen) < replication:
                 replica = min(
-                    (n for n in range(nodes) if n not in chosen),
-                    key=loads.__getitem__,
+                    (n for n in node_ids if n not in chosen),
+                    key=lambda n: (loads[n], n),
                 )
                 chosen.append(replica)
             assignments[plan.shards[idx].shard_id] = chosen
-        return cls(assignments, nodes=nodes, replication=replication)
+        return cls(assignments, nodes=node_ids, replication=replication)
 
     def nodes_for(self, shard_id: int) -> List[int]:
         return self.assignments[shard_id]
@@ -115,27 +157,96 @@ class ShardPlacement:
             if node_id in hosted
         )
 
+    def primary_shards(self, node_id: int) -> List[int]:
+        """Shards this node serves as primary."""
+        return sorted(
+            sid
+            for sid, hosted in self.assignments.items()
+            if hosted and hosted[0] == node_id
+        )
+
+    def add_node(self, node_id: int) -> None:
+        """Admit a node id to the active set (no shards yet)."""
+        if node_id in self.node_ids:
+            raise PartitionError(f"node {node_id} already active")
+        self.node_ids = tuple(sorted(self.node_ids + (node_id,)))
+
+    def remove_node(self, node_id: int) -> None:
+        """Retire a node id; every shard must already be re-homed."""
+        if node_id not in self.node_ids:
+            raise PartitionError(f"node {node_id} is not active")
+        if len(self.node_ids) == 1:
+            raise PartitionError("cannot remove the last node")
+        still = [
+            sid for sid, hosted in self.assignments.items()
+            if node_id in hosted
+        ]
+        if still:
+            raise PartitionError(
+                f"node {node_id} still hosts shards {sorted(still)}"
+            )
+        self.node_ids = tuple(n for n in self.node_ids if n != node_id)
+
     def validate_against(self, plan: PartitionPlan) -> None:
         shard_ids = {s.shard_id for s in plan.shards}
         if set(self.assignments) != shard_ids:
             raise PartitionError("placement does not cover every shard")
+        active = set(self.node_ids)
         for sid, hosted in self.assignments.items():
             if not hosted:
                 raise PartitionError(f"shard {sid} has no hosting node")
             if len(set(hosted)) != len(hosted):
                 raise PartitionError(f"shard {sid} replicas not distinct")
-            if any(not 0 <= n < self.nodes for n in hosted):
+            if any(n not in active for n in hosted):
                 raise PartitionError(f"shard {sid} names an unknown node")
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "nodes": self.nodes,
+            "node_ids": list(self.node_ids),
             "replication": self.replication,
             "assignments": {
                 str(sid): hosted
                 for sid, hosted in sorted(self.assignments.items())
             },
         }
+
+
+def make_cluster_node(
+    node_id: int,
+    plan: PartitionPlan,
+    cham: Optional[ChamConfig] = None,
+    faults: Optional[FaultInjector] = None,
+    seed: int = 0,
+    fault_rate: float = 0.0,
+    register_flip_rate: float = 0.0,
+    resets_to_recover: int = 1,
+) -> ClusterNode:
+    """One bare node (runtime + empty cache, no engines).
+
+    The fault injector derives from the rate knobs with a per-node seed
+    unless given explicitly; ``max_job_retries=0`` so a hang surfaces as
+    one FAILED attempt and failover up in the executor is the only retry
+    path.  The elastic join path uses this directly — engines are staged
+    afterwards by *migrating* encoded entries, never by re-encoding.
+    """
+    cfg = cham or cham_default_config()
+    if faults is None:
+        faults = FaultInjector(
+            hang_prob=fault_rate,
+            register_flip_prob=register_flip_rate,
+            resets_to_recover=resets_to_recover,
+            seed=seed + node_id,
+        )
+    # lane = node_id + 1: pid 0 stays the coordinator's lane in traces
+    runtime = FpgaRuntime(
+        cfg=cfg, faults=faults, max_job_retries=0, lane=node_id + 1
+    )
+    return ClusterNode(
+        node_id=node_id,
+        runtime=runtime,
+        cache=EncodedMatrixCache(capacity=max(len(plan.shards), 1)),
+    )
 
 
 def build_nodes(
@@ -149,39 +260,29 @@ def build_nodes(
     fault_rate: float = 0.0,
     register_flip_rate: float = 0.0,
     resets_to_recover: int = 1,
-) -> List[ClusterNode]:
+) -> Dict[int, ClusterNode]:
     """Construct the node pool and stage every hosted shard's encoding.
 
-    One fault injector per node (explicit list or derived from the rate
-    knobs with per-node seeds); ``max_job_retries=0`` so a hang surfaces
-    as one FAILED attempt and the failover policy up in the executor —
-    reroute to a replica — is the only retry path, mirroring the serving
-    layer's division of labor.
+    One fault injector per node (explicit list, in ``node_ids`` order, or
+    derived from the rate knobs with per-node seeds).  Returns a dict
+    keyed by persistent node id — the elastic membership layer adds and
+    removes entries without renumbering survivors.
     """
-    cfg = cham or cham_default_config()
     if fault_injectors is not None and len(fault_injectors) != placement.nodes:
         raise PartitionError("one fault injector per node")
-    nodes: List[ClusterNode] = []
-    for node_id in range(placement.nodes):
-        if fault_injectors is not None:
-            faults = fault_injectors[node_id]
-        else:
-            faults = FaultInjector(
-                hang_prob=fault_rate,
-                register_flip_prob=register_flip_rate,
-                resets_to_recover=resets_to_recover,
-                seed=seed + node_id,
-            )
-        # lane = node_id + 1: pid 0 stays the coordinator's lane in traces
-        runtime = FpgaRuntime(
-            cfg=cfg, faults=faults, max_job_retries=0, lane=node_id + 1
-        )
-        nodes.append(
-            ClusterNode(
-                node_id=node_id,
-                runtime=runtime,
-                cache=EncodedMatrixCache(capacity=max(len(plan.shards), 1)),
-            )
+    nodes: Dict[int, ClusterNode] = {}
+    for idx, node_id in enumerate(placement.node_ids):
+        nodes[node_id] = make_cluster_node(
+            node_id,
+            plan,
+            cham=cham,
+            faults=(
+                fault_injectors[idx] if fault_injectors is not None else None
+            ),
+            seed=seed,
+            fault_rate=fault_rate,
+            register_flip_rate=register_flip_rate,
+            resets_to_recover=resets_to_recover,
         )
     for shard in plan.shards:
         for node_id in placement.nodes_for(shard.shard_id):

@@ -1,0 +1,189 @@
+"""Chaos determinism battery (ISSUE 8): replay == rerun, byte for byte.
+
+An elastic chaos run is a pure function of ``(data seed, schedule
+seed)``: the scheme RNG, the request vectors, the membership schedule,
+the fault injectors, and every controller tie-break are all seeded.
+These tests pin that purity — two runs from the same seeds must produce
+**byte-identical** ``ClusterReport.to_dict()`` JSON (counters, cycle
+ledgers, applied events and all), on top of per-limb bit-identity with
+the single-node oracle.
+
+``tests/vectors/elastic_schedule_worst.json`` pins the nastiest schedule
+found while developing the controller (an all-but-one massacre followed
+by a drain of the original survivor, a cold rejoin, and the death of the
+only healed node) as a frozen regression fixture, expected counters
+included.
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterExecutor,
+    MembershipSchedule,
+    PartitionPlanner,
+)
+from repro.core.batch import BatchedHmvp, EncodedMatrixCache
+from repro.he.bfv import BfvScheme
+from repro.he.params import toy_params
+
+VECTORS_DIR = Path(__file__).parent / "vectors"
+WORST_FIXTURE = VECTORS_DIR / "elastic_schedule_worst.json"
+
+ROWS, COLS, RING = 10, 256, 128
+SCHEME_SEED = 0xE1A57
+
+
+def _limb_digests(result):
+    digests = []
+    for pack in result.packs:
+        for component in (pack.ct.c0, pack.ct.c1):
+            arr = np.asarray(component)
+            for limb in range(arr.shape[0]):
+                digests.append(
+                    hashlib.sha256(
+                        np.ascontiguousarray(arr[limb]).tobytes()
+                    ).hexdigest()
+                )
+    return digests
+
+
+def _chaos_run(data_seed, schedule, initial_nodes=3, requests=5,
+               fault_rate=0.05):
+    """One fully seeded elastic run; returns (digests, report dict).
+
+    The scheme is rebuilt from ``SCHEME_SEED`` every call so that two
+    invocations with the same arguments replay the exact same key
+    material, encryption randomness, fault rolls, and membership churn.
+    The single-node oracle shares the run's ciphertexts, so bit-identity
+    is asserted inside every run for free.
+    """
+    scheme = BfvScheme(
+        toy_params(n=RING, plain_bits=40), seed=SCHEME_SEED, max_pack=RING
+    )
+    rng = np.random.default_rng(data_seed)
+    matrix = rng.integers(-70, 70, (ROWS, COLS))
+    vectors = [rng.integers(-70, 70, COLS) for _ in range(requests)]
+    plan = PartitionPlanner(RING).plan_from_cuts(
+        ROWS, COLS, (0, 6, 10), (0, 128, 256)
+    )
+    executor = ClusterExecutor(
+        scheme,
+        matrix,
+        config=ClusterConfig(
+            nodes=initial_nodes,
+            replication=2,
+            max_retries=1,
+            fault_rate=fault_rate,
+            seed=11,
+        ),
+        plan=plan,
+        schedule=schedule,
+    )
+    cts = [executor.encrypt_vector(v) for v in vectors]
+    results = executor.execute_batch(cts)
+    digests = [_limb_digests(r) for r in results]
+    oracle = BatchedHmvp(scheme, matrix, cache=EncodedMatrixCache())
+    reference = [_limb_digests(oracle.multiply_tiles(ct)) for ct in cts]
+    assert digests == reference, "cluster diverged from single-node oracle"
+    report = executor.report()
+    assert report.dropped == 0
+    return digests, report.to_dict()
+
+
+@pytest.mark.parametrize("schedule_seed", [0, 1, 7, 23, 99])
+def test_same_seeds_replay_byte_identical(schedule_seed):
+    """Two runs from the same (data seed, schedule seed) agree on every
+    byte of the serialized cluster report — output digests, busy-cycle
+    ledgers, migration counters, applied events, the lot."""
+    schedule = MembershipSchedule.random(
+        schedule_seed, requests=5, initial_nodes=3
+    )
+    digests_a, report_a = _chaos_run(0xD0D0 + schedule_seed, schedule)
+    digests_b, report_b = _chaos_run(0xD0D0 + schedule_seed, schedule)
+    assert digests_a == digests_b
+    assert json.dumps(report_a, sort_keys=True) == json.dumps(
+        report_b, sort_keys=True
+    )
+
+
+def test_different_schedules_same_data_same_outputs():
+    """The flip side of determinism: the *schedule* must not leak into
+    the *outputs*.  Same data under two different schedules gives the
+    same per-limb digests (only the membership ledger differs)."""
+    schedule_a = MembershipSchedule.random(3, requests=5, initial_nodes=3)
+    schedule_b = MembershipSchedule.random(4, requests=5, initial_nodes=3)
+    assert schedule_a.to_dict() != schedule_b.to_dict()
+    digests_a, report_a = _chaos_run(0xBEEF, schedule_a)
+    digests_b, report_b = _chaos_run(0xBEEF, schedule_b)
+    assert digests_a == digests_b
+    assert report_a["membership"] != report_b["membership"]
+
+
+# The nastiest schedule found while developing the controller: an
+# all-but-one massacre, a heal-on-join, a drain of the original
+# survivor, a cold rejoin of a dead id, then the death of the node that
+# had inherited everything.  Every hand-off path fires at least once.
+WORST_SPEC = "1:kill:3,1:kill:2,1:kill:1,2:join:4,3:leave:0,4:join:1,5:kill:4"
+WORST_DATA_SEED = 0x0BAD
+WORST_INITIAL_NODES = 4
+WORST_REQUESTS = 6
+
+_PINNED_COUNTERS = (
+    "joins", "leaves", "kills", "replica_promotions", "drained_shards",
+    "migrated_entries", "reencodes", "reencodes_avoided",
+)
+
+
+def test_worst_schedule_regression_fixture():
+    """Replay the pinned worst-case schedule and hold it to its frozen
+    counters and output digest.  Regenerate (after an intentional
+    controller change) with::
+
+        PYTHONPATH=src python -m pytest tests/test_cluster_chaos.py --regen
+    """
+    schedule = MembershipSchedule.parse(WORST_SPEC)
+    digests, report = _chaos_run(
+        WORST_DATA_SEED,
+        schedule,
+        initial_nodes=WORST_INITIAL_NODES,
+        requests=WORST_REQUESTS,
+    )
+    membership = report["membership"]
+    payload = {
+        "description": (
+            "Worst-case elastic membership schedule regression fixture; "
+            "regenerate via pytest tests/test_cluster_chaos.py --regen"
+        ),
+        "scheme_seed": SCHEME_SEED,
+        "data_seed": WORST_DATA_SEED,
+        "requests": WORST_REQUESTS,
+        "initial_nodes": WORST_INITIAL_NODES,
+        "replication": 2,
+        "schedule": schedule.to_dict(),
+        "expected_membership": {
+            key: membership[key] for key in _PINNED_COUNTERS
+        },
+        "expected_final_nodes": report["nodes"],
+        "output_digest": hashlib.sha256(
+            "".join(
+                d for per_request in digests for d in per_request
+            ).encode()
+        ).hexdigest(),
+    }
+    # the massacre leaves sole copies, but every later join heals them:
+    # even this schedule never forces a matrix re-encode
+    assert membership["reencodes"] == 0
+    assert membership["migrated_entries"] > 0
+    assert membership["replica_promotions"] >= 1
+    assert membership["drained_shards"] >= 1
+    if "--regen" in sys.argv or not WORST_FIXTURE.exists():
+        WORST_FIXTURE.write_text(json.dumps(payload, indent=2) + "\n")
+    fixture = json.loads(WORST_FIXTURE.read_text())
+    assert fixture == payload

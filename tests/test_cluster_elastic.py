@@ -1,0 +1,432 @@
+"""Elastic membership property suite (ISSUE 8): bit-identity under churn.
+
+The elastic cluster's headline claim: for **any** valid membership
+schedule — joins, graceful leaves, kills, including "all but one node
+dies" and "a node rejoins with a cold cache" — every request's output is
+bit-identical per RNS limb (sha256) to :class:`~repro.core.batch.BatchedHmvp`
+on one node, no request is ever dropped, and scale events never trigger
+a matrix re-encode when the encoded entry still lives on any surviving
+node's cache (entries *migrate*; the ``EncodedMatrix.encode`` kernel is
+instrumented here to prove it is simply never called).
+
+The claim is structural: the :class:`PartitionPlan` shard grid is fixed
+for the executor's lifetime, so membership changes only move *where*
+shards run — the merge algebra never changes.  These tests fuzz the
+"where" as hard as hypothesis can and pin the "what" to the single-node
+oracle, bit for bit.
+"""
+
+import hashlib
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    Autoscaler,
+    AutoscalerConfig,
+    ClusterConfig,
+    ClusterExecutor,
+    MembershipError,
+    MembershipEvent,
+    MembershipSchedule,
+    PartitionPlanner,
+    ShardPlacement,
+)
+from repro.core import batch as batch_mod
+from repro.core.batch import BatchedHmvp, EncodedMatrixCache
+
+ROWS, COLS, RING = 10, 256, 128
+ROW_CUTS = (0, 6, 10)
+COL_CUTS = (0, 128, 256)
+REQUESTS = 4
+INITIAL_NODES = 3
+
+
+def _limb_digests(result):
+    """Per-limb SHA-256 of every output pack's (c0, c1) arrays."""
+    digests = []
+    for pack in result.packs:
+        for component in (pack.ct.c0, pack.ct.c1):
+            arr = np.asarray(component)
+            for limb in range(arr.shape[0]):
+                digests.append(
+                    hashlib.sha256(
+                        np.ascontiguousarray(arr[limb]).tobytes()
+                    ).hexdigest()
+                )
+    return digests
+
+
+@pytest.fixture(scope="module")
+def workload(scheme128):
+    """Fixed matrix + pre-encrypted requests + single-node oracle digests.
+
+    The requests are encrypted **once**; every schedule below replays the
+    same ciphertexts, so the cluster output must match the oracle's down
+    to the last limb bit regardless of what membership does in between.
+    """
+    rng = np.random.default_rng(0xE1A5)
+    matrix = rng.integers(-80, 80, (ROWS, COLS))
+    vectors = [rng.integers(-80, 80, COLS) for _ in range(REQUESTS)]
+    plan = PartitionPlanner(RING).plan_from_cuts(
+        ROWS, COLS, ROW_CUTS, COL_CUTS
+    )
+    ring = scheme128.params.n
+    cts = [
+        [
+            scheme128.encrypt_vector(np.asarray(v)[s : s + ring])
+            for s in range(0, COLS, ring)
+        ]
+        for v in vectors
+    ]
+    oracle = BatchedHmvp(scheme128, matrix, cache=EncodedMatrixCache())
+    reference = [_limb_digests(oracle.multiply_tiles(ct)) for ct in cts]
+    return matrix, plan, cts, reference
+
+
+@contextmanager
+def _count_encodes():
+    """Count every real ``EncodedMatrix.encode`` call while active."""
+    calls = []
+    original = batch_mod.EncodedMatrix.encode.__func__
+
+    def counting(cls, scheme, matrix, tile_rows=None):
+        calls.append(np.asarray(matrix).shape)
+        return original(cls, scheme, matrix, tile_rows)
+
+    batch_mod.EncodedMatrix.encode = classmethod(counting)
+    try:
+        yield calls
+    finally:
+        batch_mod.EncodedMatrix.encode = classmethod(original)
+
+
+def _run(workload, schedule, replication=2, initial=INITIAL_NODES):
+    """Build an executor, replay the fixed requests under ``schedule``.
+
+    Returns ``(digests per request, report, encode calls made after the
+    initial staging)`` — the encode count is the no-re-encode proof.
+    """
+    matrix, plan, cts, _ = workload
+    executor = ClusterExecutor(
+        _run.scheme,
+        matrix,
+        config=ClusterConfig(
+            nodes=initial,
+            replication=min(replication, initial),
+            seed=0,
+        ),
+        plan=plan,
+        schedule=schedule,
+    )
+    with _count_encodes() as calls:
+        results = executor.execute_batch(cts)
+    return [_limb_digests(r) for r in results], executor.report(), calls
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bind_scheme(scheme128):
+    _run.scheme = scheme128
+    yield
+
+
+@st.composite
+def schedules(draw):
+    """Valid random schedules over the fixed request window.
+
+    Mirrors the controller's validity rules during generation: events
+    fire in seq order, leaves/kills only target then-active nodes, and
+    the pool never empties.  Node ids are explicit so an example prints
+    exactly what it did.
+    """
+    active = set(range(INITIAL_NODES))
+    departed = []
+    next_id = INITIAL_NODES
+    events = []
+    seq = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        seq = draw(st.integers(min_value=seq, max_value=REQUESTS - 1))
+        kinds = []
+        if len(active) < 6:
+            kinds.append("join")
+        if len(active) > 1:
+            kinds.extend(["leave", "kill"])
+        kind = draw(st.sampled_from(kinds))
+        if kind == "join":
+            rejoin = departed and draw(st.booleans())
+            if rejoin:
+                node = draw(st.sampled_from(sorted(departed)))
+                departed.remove(node)
+            else:
+                node, next_id = next_id, next_id + 1
+            active.add(node)
+        else:
+            node = draw(st.sampled_from(sorted(active)))
+            active.remove(node)
+            departed.append(node)
+        events.append(MembershipEvent(seq=seq, kind=kind, node_id=node))
+    return MembershipSchedule(events)
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(schedule=schedules())
+def test_bit_identity_under_any_schedule(workload, schedule):
+    """THE elastic property: any join/leave/kill schedule, replication 2,
+    yields per-limb bit-identical outputs, zero dropped requests, and —
+    because single events always leave a surviving replica — **zero**
+    re-encodes: every post-build ``EncodedMatrix.encode`` call is
+    accounted for by the controller's ``reencodes`` counter, and that
+    counter stays 0."""
+    _matrix, _plan, _cts, reference = workload
+    digests, report, encode_calls = _run(workload, schedule)
+    assert digests == reference
+    assert report.dropped == 0
+    membership = report.membership
+    # migration bookkeeping: an entry is only ever copied, never rebuilt
+    assert len(encode_calls) == membership["reencodes"]
+    assert membership["reencodes"] == 0
+    events = membership["applied_events"]
+    assert len(events) == len(schedule.events)
+    kinds = [e["kind"] for e in events]
+    assert membership["joins"] == kinds.count("join")
+    assert membership["leaves"] == kinds.count("leave")
+    assert membership["kills"] == kinds.count("kill")
+    # every migration avoided exactly one re-encode; nothing double-counts
+    assert membership["reencodes_avoided"] >= membership["migrated_entries"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_all_but_one_node_dies(workload, data):
+    """Kill every node but one (order drawn at random) in one burst:
+    the survivor inherits every shard via migration — still bit-exact,
+    still no re-encode, because each kill re-replicates before the
+    next one fires."""
+    _matrix, _plan, _cts, reference = workload
+    victims = data.draw(
+        st.permutations(list(range(1, INITIAL_NODES)))
+    )
+    at = data.draw(st.integers(min_value=0, max_value=REQUESTS - 1))
+    schedule = MembershipSchedule(
+        [MembershipEvent(seq=at, kind="kill", node_id=v) for v in victims]
+    )
+    digests, report, encode_calls = _run(workload, schedule)
+    assert digests == reference
+    assert report.dropped == 0
+    assert report.nodes == 1
+    assert report.membership["reencodes"] == 0 == len(encode_calls)
+    assert report.membership["replica_promotions"] >= 1
+
+
+def test_node_rejoins_with_cold_cache(workload):
+    """A node leaves gracefully, then rejoins under its old id with a
+    cold cache: the rebalance migrates entries onto it (never encodes),
+    and the output never wavers."""
+    _matrix, _plan, _cts, reference = workload
+    schedule = MembershipSchedule(
+        [
+            MembershipEvent(seq=1, kind="leave", node_id=1),
+            MembershipEvent(seq=3, kind="join", node_id=1),
+        ]
+    )
+    digests, report, encode_calls = _run(workload, schedule)
+    assert digests == reference
+    assert report.dropped == 0
+    assert not encode_calls
+    membership = report.membership
+    assert membership["leaves"] == 1 and membership["joins"] == 1
+    assert membership["migrated_entries"] > 0
+    assert membership["reencodes"] == 0
+
+
+def test_replication_one_kill_forces_the_only_legal_reencode(workload):
+    """With replication 1, killing a shard's only holder loses the
+    encoding with the node — the *one* case a re-encode is allowed.
+    The controller counts it, the instrumentation confirms it, and the
+    output is still bit-identical (the encode is deterministic)."""
+    _matrix, _plan, _cts, reference = workload
+    schedule = MembershipSchedule(
+        [MembershipEvent(seq=1, kind="kill", node_id=0)]
+    )
+    digests, report, encode_calls = _run(workload, schedule, replication=1)
+    assert digests == reference
+    assert report.dropped == 0
+    membership = report.membership
+    assert membership["reencodes"] >= 1
+    assert len(encode_calls) == membership["reencodes"]
+
+
+def test_graceful_leave_drains_without_reencode(workload):
+    """Drain-before-leave: every shard hosted on the departing node is
+    re-homed from its (still live) cache even at replication 1."""
+    _matrix, _plan, _cts, reference = workload
+    schedule = MembershipSchedule(
+        [MembershipEvent(seq=1, kind="leave", node_id=0)]
+    )
+    digests, report, encode_calls = _run(workload, schedule, replication=1)
+    assert digests == reference
+    assert not encode_calls
+    membership = report.membership
+    assert membership["reencodes"] == 0
+    assert membership["migrated_entries"] > 0
+
+
+def test_invalid_events_are_rejected():
+    with pytest.raises(MembershipError):
+        MembershipEvent(seq=0, kind="explode", node_id=1)
+    with pytest.raises(MembershipError):
+        MembershipEvent(seq=-1, kind="join")
+    with pytest.raises(MembershipError):
+        MembershipEvent(seq=0, kind="kill")  # kill needs a node id
+    with pytest.raises(MembershipError):
+        MembershipSchedule.parse("1:kill:2:oops")
+
+
+def test_schedule_round_trips():
+    schedule = MembershipSchedule.parse("4:kill:3,4:kill:2,8:join,2:leave:1")
+    # stable sort by seq, authored order preserved within a seq
+    assert [e.seq for e in schedule] == [2, 4, 4, 8]
+    assert MembershipSchedule.parse(schedule.to_spec()).to_dict() == (
+        schedule.to_dict()
+    )
+    assert MembershipSchedule.from_dict(schedule.to_dict()).to_spec() == (
+        schedule.to_spec()
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_schedules_are_valid_and_deterministic(seed):
+    a = MembershipSchedule.random(seed, requests=6, initial_nodes=3)
+    b = MembershipSchedule.random(seed, requests=6, initial_nodes=3)
+    assert a.to_dict() == b.to_dict()
+    # replay validity: simulate the active set
+    active = set(range(3))
+    for event in a:
+        if event.kind == "join":
+            assert event.node_id not in active
+            active.add(event.node_id)
+        else:
+            assert event.node_id in active
+            active.remove(event.node_id)
+        assert active, "schedule emptied the pool"
+
+
+# -- LPT tie-break regression (satellite) ---------------------------------
+
+
+def test_lpt_tie_break_is_by_node_id():
+    """Equal-load ties break by node id explicitly, so plans are stable
+    across Python versions, container orderings, and churn renumbering."""
+    planner = PartitionPlanner(128)
+    plan = planner.plan_from_cuts(
+        8, 512, (0, 4, 8), (0, 128, 256, 384, 512)
+    )
+    costs = [10] * len(plan.shards)
+    placement = ShardPlacement.place(
+        plan, nodes=3, replication=2, shard_costs=costs
+    )
+    primaries = [
+        placement.nodes_for(s.shard_id)[0] for s in plan.shards
+    ]
+    # all-equal costs: LPT degrades to round-robin over ascending node id
+    assert primaries == [0, 1, 2, 0, 1, 2, 0, 1]
+
+
+def test_lpt_placement_is_order_independent_over_renumbered_nodes():
+    planner = PartitionPlanner(128)
+    plan = planner.plan_from_cuts(8, 256, (0, 4, 8), (0, 128, 256))
+    costs = [7] * len(plan.shards)
+    a = ShardPlacement.place(
+        plan, nodes=[11, 3, 7], replication=2, shard_costs=costs
+    )
+    b = ShardPlacement.place(
+        plan, nodes=[3, 7, 11], replication=2, shard_costs=costs
+    )
+    assert a.assignments == b.assignments
+    assert a.node_ids == b.node_ids == (3, 7, 11)
+    # ties go to the smallest surviving id, not to "the first in the dict"
+    assert a.nodes_for(plan.shards[0].shard_id)[0] == 3
+
+
+# -- autoscaler hysteresis -------------------------------------------------
+
+
+def test_autoscaler_scales_up_only_on_sustained_backlog():
+    scaler = Autoscaler(
+        AutoscalerConfig(
+            high_queue_depth=8, low_queue_depth=1, up_after=2,
+            down_after=3, cooldown=2,
+        )
+    )
+    # one blip is not pressure
+    assert scaler.observe(queue_depth=20, nodes=2) is None
+    assert scaler.observe(queue_depth=0, nodes=2) is None
+    # two consecutive breaches are
+    assert scaler.observe(queue_depth=12, nodes=2) is None
+    assert scaler.observe(queue_depth=12, nodes=2) == "up"
+    # cooldown: even a screaming backlog is ignored for two observations,
+    # but the streak keeps building so the first post-cooldown breach fires
+    assert scaler.observe(queue_depth=50, nodes=3) is None
+    assert scaler.observe(queue_depth=50, nodes=3) is None
+    assert scaler.observe(queue_depth=50, nodes=3) == "up"
+
+
+def test_autoscaler_scales_down_on_sustained_idle_with_floor():
+    scaler = Autoscaler(
+        AutoscalerConfig(
+            high_queue_depth=8, low_queue_depth=1, up_after=2,
+            down_after=3, cooldown=0, min_nodes=2,
+        )
+    )
+    assert scaler.observe(queue_depth=0, nodes=3) is None
+    assert scaler.observe(queue_depth=1, nodes=3) is None
+    assert scaler.observe(queue_depth=0, nodes=3) == "down"
+    # at the floor the policy goes quiet instead of draining the pool
+    for _ in range(5):
+        assert scaler.observe(queue_depth=0, nodes=2) is None
+
+
+def test_autoscaler_dead_band_resets_streaks():
+    scaler = Autoscaler(
+        AutoscalerConfig(
+            high_queue_depth=8, low_queue_depth=1, up_after=2,
+            down_after=2, cooldown=0,
+        )
+    )
+    assert scaler.observe(queue_depth=9, nodes=2) is None
+    assert scaler.observe(queue_depth=4, nodes=2) is None  # dead band
+    assert scaler.observe(queue_depth=9, nodes=2) is None  # streak reset
+    assert scaler.observe(queue_depth=9, nodes=2) == "up"
+
+
+def test_autoscaler_wired_into_execute_batch(workload):
+    """End to end: a synthetic backlog long enough to trip the scale-up
+    hysteresis grows the pool mid-batch via a real join event — and the
+    outputs stay bit-identical to the oracle throughout."""
+    matrix, plan, cts, reference = workload
+    executor = ClusterExecutor(
+        _run.scheme,
+        matrix,
+        config=ClusterConfig(nodes=2, replication=2, seed=0),
+        plan=plan,
+        autoscaler=Autoscaler(
+            AutoscalerConfig(
+                high_queue_depth=2, low_queue_depth=0, up_after=1,
+                cooldown=0, max_nodes=3,
+            )
+        ),
+    )
+    results = executor.execute_batch(cts)
+    report = executor.report()
+    assert [_limb_digests(r) for r in results] == reference
+    assert report.dropped == 0
+    assert report.membership["joins"] >= 1
+    assert report.membership["autoscale_actions"] >= 1
+    assert report.nodes == 3

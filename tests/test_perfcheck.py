@@ -182,6 +182,12 @@ def test_shipped_floors_match_bench_metrics():
         "keyswitch": {
             "ops_per_s_single", "ops_per_s_batched",
         },
+        "elastic": {
+            "goodput_sim_rps_static", "goodput_sim_rps_elastic",
+            "goodput_ratio_vs_static", "makespan_cycles_elastic",
+            "migrated_entries", "reencodes", "reencodes_avoided",
+            "replica_promotions", "dropped_total",
+        },
     }
     assert floors["checks"], "shipped floors pin no checks"
     for check in floors["checks"]:
