@@ -147,17 +147,34 @@ class Rule:
     Subclasses set the class attributes and implement :meth:`check`;
     :meth:`applies_to` narrows the default file scope (paths are
     repo-relative POSIX strings, e.g. ``src/repro/he/bfv.py``).
+
+    Rules with ``project = True`` implement :meth:`check_project`
+    instead: they see every in-scope file at once (the lock-order
+    analysis needs the cross-file call graph — a worker pool in
+    ``serve`` reaches cache writes in ``core``).  :func:`lint_paths`
+    runs them exactly once per invocation; :meth:`check` still works on
+    a single file (degenerate one-module project) so the fixture tests
+    and ``lint_source`` need no special casing.
     """
 
     id: str = ""
     name: str = ""
     severity: str = SEVERITY_ERROR
     rationale: str = ""
+    #: project rules analyze all in-scope files together (call graphs)
+    project: bool = False
 
     def applies_to(self, rel_path: str) -> bool:
         return True
 
     def check(self, src: SourceFile) -> List[Diagnostic]:
+        if self.project:
+            return self.check_project([src])
+        raise NotImplementedError
+
+    def check_project(
+        self, sources: Sequence[SourceFile]
+    ) -> List[Diagnostic]:
         raise NotImplementedError
 
     def diag(self, src: SourceFile, node: ast.AST, message: str) -> Diagnostic:
@@ -208,7 +225,9 @@ def get_rules(ids: Optional[Sequence[str]] = None) -> List[Rule]:
 
 def _ensure_rules_loaded() -> None:
     # The concrete rules register themselves on import; pulling the
-    # module in here keeps `get_rules` usable without import-order care.
+    # modules in here keeps `get_rules` usable without import-order care.
+    from . import dataflow as _dataflow  # noqa: F401  (import side effect)
+    from . import locks as _locks  # noqa: F401  (import for side effect)
     from . import rules as _rules  # noqa: F401  (import for side effect)
 
 
@@ -251,7 +270,12 @@ def lint_file(
     rules: Optional[Sequence[Rule]] = None,
     respect_scope: bool = True,
 ) -> List[Diagnostic]:
-    """Apply rules to one parsed source file, honoring suppressions."""
+    """Apply rules to one parsed source file, honoring suppressions.
+
+    Project rules run here too (as a one-module project), which is what
+    :func:`lint_source` fixtures rely on; :func:`lint_paths` filters
+    them out of its per-file pass and runs them once globally instead.
+    """
     selected = list(rules) if rules is not None else all_rules()
     try:
         src.tree
@@ -282,11 +306,40 @@ def lint_paths(
     root: Optional[Path] = None,
     respect_scope: bool = True,
 ) -> List[Diagnostic]:
-    """Lint files and/or directory trees; returns sorted diagnostics."""
+    """Lint files and/or directory trees; returns sorted diagnostics.
+
+    Per-file rules run file by file; project rules run once over every
+    parseable in-scope file together, then their findings pass through
+    the same per-line noqa filter as everything else.
+    """
+    selected = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in selected if not r.project]
+    project_rules = [r for r in selected if r.project]
     diags: List[Diagnostic] = []
+    sources: List[SourceFile] = []
     for path in iter_python_files(paths):
         src = SourceFile.from_path(path, root=root)
-        diags.extend(lint_file(src, rules=rules, respect_scope=respect_scope))
+        diags.extend(
+            lint_file(src, rules=file_rules, respect_scope=respect_scope)
+        )
+        try:
+            src.tree
+        except SyntaxError:
+            continue  # REPRO000 already reported by lint_file
+        sources.append(src)
+    by_rel = {s.rel: s for s in sources}
+    for rule in project_rules:
+        scoped = [
+            s
+            for s in sources
+            if not respect_scope or rule.applies_to(s.rel)
+        ]
+        if not scoped:
+            continue
+        for diag in rule.check_project(scoped):
+            src = by_rel.get(diag.path)
+            if src is None or not src.suppressed(diag.line, diag.rule_id):
+                diags.append(diag)
     return sorted(diags)
 
 

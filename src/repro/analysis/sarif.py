@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 export for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file produced here annotates the PR
+diff with every REPRO finding inline, instead of burying them in a job
+log.  Only the small subset of the schema that code scanning actually
+reads is emitted — tool driver with a rule catalog, one result per
+diagnostic with a physical location — but the output validates against
+the full 2.1.0 schema (``tests/test_lint_cli.py`` checks the invariants
+the schema enforces: required properties, level vocabulary, URI-form
+artifact locations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .core import Diagnostic, Rule, all_rules
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "diagnostics_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severities -> SARIF result levels (the schema vocabulary
+#: is ``none | note | warning | error``).
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def diagnostics_to_sarif(
+    diags: Sequence[Diagnostic],
+    rules: Optional[Sequence[Rule]] = None,
+) -> Dict[str, object]:
+    """A complete ``sarifLog`` object for one lint run.
+
+    ``rules`` is the rule set that *ran* (defaults to the full
+    registry); every rule appears in the tool's catalog whether or not
+    it fired, so code scanning can show the rule metadata for a finding
+    and track rules that went clean.
+    """
+    catalog = list(rules) if rules is not None else all_rules()
+    known = {rule.id for rule in catalog}
+    descriptors = [_rule_descriptor(rule) for rule in catalog]
+    index = {rule.id: i for i, rule in enumerate(catalog)}
+
+    results: List[Dict[str, object]] = []
+    for diag in diags:
+        result: Dict[str, object] = {
+            "ruleId": diag.rule_id,
+            "level": _LEVELS.get(diag.severity, "warning"),
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, diag.line),
+                            "startColumn": max(1, diag.col),
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.rule_id in known:
+            result["ruleIndex"] = index[diag.rule_id]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "https://github.com/example/repro"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }

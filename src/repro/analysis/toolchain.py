@@ -30,6 +30,7 @@ __all__ = [
     "ToolResult",
     "repo_root",
     "tool_available",
+    "changed_python_files",
     "run_ruff",
     "run_mypy",
     "run_ci",
@@ -92,6 +93,40 @@ def _run(
     return proc.returncode, proc.stdout.strip()
 
 
+def changed_python_files(base: str, root: Optional[Path] = None) -> List[Path]:
+    """``.py`` files changed versus a git ref (the ``--diff`` scope).
+
+    Uses ``git diff --name-only --diff-filter=d BASE`` plus untracked
+    files, so freshly added modules are linted before their first
+    commit.  Deleted files are excluded (nothing to lint).  Raises
+    :class:`RuntimeError` when git itself fails (unknown ref, not a
+    repository) — the CLI turns that into a usage error rather than
+    silently linting nothing.
+    """
+    root = root or repo_root()
+    names: List[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "--diff-filter=d", base],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        code, output = _run(cmd, cwd=root)
+        if code != 0:
+            raise RuntimeError(
+                f"`{' '.join(cmd)}` failed (exit {code}): {output}"
+            )
+        names.extend(line.strip() for line in output.splitlines())
+    out: List[Path] = []
+    seen = set()
+    for name in names:
+        if not name.endswith(".py") or name in seen:
+            continue
+        seen.add(name)
+        path = root / name
+        if path.is_file():
+            out.append(path)
+    return sorted(out)
+
+
 def run_ruff(root: Optional[Path] = None) -> ToolResult:
     """``ruff check src`` with the pyproject config, if installed."""
     root = root or repo_root()
@@ -126,17 +161,29 @@ def run_mypy(root: Optional[Path] = None) -> ToolResult:
 
 def run_ci(
     root: Optional[Path] = None,
+    sarif_out: Optional[Path] = None,
 ) -> Tuple[int, Dict[str, object], str]:
     """The full ``repro lint --ci`` gate.
 
     Returns ``(exit_code, json_report, human_text)``; exit code 0 means
     every custom rule is clean on ``src/repro`` and every available
-    external tool passed.
+    external tool passed.  ``sarif_out`` additionally writes the custom
+    rules' findings as a SARIF 2.1.0 log for code-scanning upload.
     """
     root = root or repo_root()
     src = root / "src" / "repro"
     diags: List[Diagnostic] = lint_paths([src], root=root)
     tools = [run_ruff(root), run_mypy(root)]
+
+    if sarif_out is not None:
+        import json
+
+        from .sarif import diagnostics_to_sarif
+
+        Path(sarif_out).write_text(
+            json.dumps(diagnostics_to_sarif(diags), indent=2),
+            encoding="utf-8",
+        )
 
     report = diagnostics_to_json(diags)
     report["tools"] = [t.to_dict() for t in tools]

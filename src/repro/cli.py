@@ -545,7 +545,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     if args.ci:
-        code, report, text = analysis.run_ci()
+        sarif_out = pathlib.Path(args.sarif) if args.sarif else None
+        code, report, text = analysis.run_ci(sarif_out=sarif_out)
         if args.json_out:
             with open(args.json_out, "w") as fh:
                 json.dump(report, fh, indent=2)
@@ -557,21 +558,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     rules = analysis.get_rules(args.rule) if args.rule else None
     root = analysis.repo_root()
-    paths = (
-        [pathlib.Path(p) for p in args.paths]
-        if args.paths
-        else [root / "src" / "repro"]
-    )
+    if args.diff:
+        try:
+            paths = analysis.changed_python_files(args.diff, root=root)
+        except RuntimeError as exc:
+            print(f"repro lint --diff: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"repro lint: no .py files changed vs {args.diff}")
+            if args.sarif:
+                _write_sarif(args.sarif, [], rules)
+            return 0
+    else:
+        paths = (
+            [pathlib.Path(p) for p in args.paths]
+            if args.paths
+            else [root / "src" / "repro"]
+        )
     diags = analysis.lint_paths(paths, rules=rules, root=root)
     report = analysis.diagnostics_to_json(diags)
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(report, fh, indent=2)
+    if args.sarif:
+        _write_sarif(args.sarif, diags, rules)
     if args.json:
         print(json.dumps(report, indent=2))
     else:
         print(analysis.render_text(diags))
     return 1 if diags else 0
+
+
+def _write_sarif(path, diags, rules) -> None:
+    from repro.analysis import diagnostics_to_sarif
+
+    with open(path, "w") as fh:
+        json.dump(diagnostics_to_sarif(diags, rules=rules), fh, indent=2)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -797,6 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ci", action="store_true",
                       help="merge-gate mode: custom rules on src/repro plus "
                            "ruff and mypy (skipped when not installed)")
+    lint.add_argument("--diff", metavar="BASE", default=None,
+                      help="lint only .py files changed vs this git ref "
+                           "(plus untracked files)")
+    lint.add_argument("--sarif", metavar="FILE", default=None,
+                      help="also write findings as SARIF 2.1.0 (GitHub "
+                           "code-scanning upload format)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     lint.set_defaults(func=_cmd_lint)

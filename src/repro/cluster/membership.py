@@ -33,7 +33,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .. import obs
 from ..core.batch import BatchedHmvp, EncodedMatrixCache
@@ -114,7 +122,7 @@ class MembershipSchedule:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MembershipEvent]:
         return iter(self.events)
 
     def to_dict(self) -> Dict[str, object]:

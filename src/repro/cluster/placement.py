@@ -30,10 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..core.batch import BatchedHmvp, EncodedMatrixCache
 from ..he.bfv import BfvScheme
 from ..hw.arch import ChamConfig, cham_default_config
-from ..hw.runtime import FaultInjector, FpgaRuntime
+from ..hw.runtime import FaultInjector, FpgaRuntime, HealthReport
 from .partition import PartitionError, PartitionPlan
 
 __all__ = [
@@ -59,7 +61,7 @@ class ClusterNode:
     def busy_cycles(self) -> int:
         return self.runtime.busy_cycles
 
-    def health(self):
+    def health(self) -> HealthReport:
         return self.runtime.health()
 
 
@@ -251,7 +253,7 @@ def make_cluster_node(
 
 def build_nodes(
     scheme: BfvScheme,
-    matrix,
+    matrix: np.ndarray,
     plan: PartitionPlan,
     placement: ShardPlacement,
     cham: Optional[ChamConfig] = None,

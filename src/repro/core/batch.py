@@ -47,6 +47,7 @@ from ..he.rlwe import RlweCiphertext
 from ..hw.runtime import Job, JobScheduler, QueueReport
 from ..math.modular import modadd_vec, modmul_vec, modneg_vec
 from ..math.ntt import freeze_array
+from ..math.rns import RnsBasis
 from .hmvp import HmvpOpCount, HmvpResult
 
 __all__ = [
@@ -105,7 +106,7 @@ def _encode_rows_eq1(block: np.ndarray, n: int, t: int) -> np.ndarray:
     return coeffs
 
 
-def _centered_limbs(coeffs: np.ndarray, t: int, basis) -> np.ndarray:
+def _centered_limbs(coeffs: np.ndarray, t: int, basis: RnsBasis) -> np.ndarray:
     """Centered lift + per-limb reduction of plaintext coefficients.
 
     Matches ``plaintext_limbs`` (Plaintext.centered then

@@ -233,7 +233,9 @@ def im2col(image: np.ndarray, kh: int, kw: int) -> np.ndarray:
     return rows
 
 
-def conv2d_via_hmvp(scheme, image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+def conv2d_via_hmvp(
+    scheme: BfvScheme, image: np.ndarray, kernel: np.ndarray
+) -> np.ndarray:
     """Evaluate a convolution as an encrypted HMVP over the im2col matrix.
 
     The *kernel* is encrypted (one short ciphertext) and the im2col

@@ -48,7 +48,10 @@ class TestFramework:
         rules = all_rules()
         ids = [r.id for r in rules]
         assert ids == sorted(ids)
-        assert ids == [f"REPRO10{i}" for i in range(1, 9)]
+        pattern = [f"REPRO10{i}" for i in range(1, 9)]
+        dataflow = [f"REPRO20{i}" for i in range(1, 7)]
+        locks = ["REPRO210", "REPRO211"]
+        assert ids == pattern + dataflow + locks
         for rule in rules:
             assert rule.name and rule.rationale and rule.severity
 

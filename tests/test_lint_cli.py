@@ -1,0 +1,215 @@
+"""Tests for the lint CLI surface: ``--diff``, ``--sarif``, ``--ci``.
+
+The SARIF tests check the invariants the 2.1.0 schema enforces on the
+subset we emit (the schema file itself is not vendored): required
+top-level properties, the result ``level`` vocabulary, rule catalog /
+``ruleIndex`` consistency, and relative-URI artifact locations under a
+declared ``uriBaseId``.  GitHub code scanning rejects files that break
+any of these.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    SARIF_VERSION,
+    all_rules,
+    changed_python_files,
+    diagnostics_to_sarif,
+    get_rules,
+    lint_source,
+)
+from repro.cli import main
+
+ROOT = Path(__file__).resolve().parents[1]
+
+_FINDING_SRC = (
+    "def f(basis, scheme, v):\n"
+    "    ct = scheme.encrypt(v)\n"
+    "    up = basis.extend_to(ct)\n"
+    "    return up\n"  # aug-basis value escapes -> REPRO204
+)
+
+
+def _sample_diags():
+    diags = lint_source(_FINDING_SRC, filename="src/repro/sample.py")
+    assert diags, "fixture must produce at least one finding"
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# SARIF exporter
+
+
+class TestSarifExport:
+    def test_top_level_shape(self):
+        log = diagnostics_to_sarif(_sample_diags())
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        assert "SRCROOT" in log["runs"][0]["originalUriBaseIds"]
+
+    def test_rule_catalog_covers_registry_even_when_clean(self):
+        log = diagnostics_to_sarif([])
+        driver = log["runs"][0]["tool"]["driver"]
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == [rule.id for rule in all_rules()]
+        for descriptor in driver["rules"]:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+            assert descriptor["defaultConfiguration"]["level"] in (
+                "none", "note", "warning", "error",
+            )
+        assert log["runs"][0]["results"] == []
+
+    def test_results_reference_the_catalog(self):
+        log = diagnostics_to_sarif(_sample_diags())
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert result["level"] in ("none", "note", "warning", "error")
+            assert result["message"]["text"]
+            idx = result["ruleIndex"]
+            assert rules[idx]["id"] == result["ruleId"]
+            loc = result["locations"][0]["physicalLocation"]
+            art = loc["artifactLocation"]
+            assert art["uriBaseId"] == "SRCROOT"
+            assert not art["uri"].startswith("/")
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+
+    def test_restricted_rule_set_narrows_the_catalog(self):
+        rules = get_rules(["REPRO204"])
+        log = diagnostics_to_sarif(_sample_diags(), rules=rules)
+        driver = log["runs"][0]["tool"]["driver"]
+        assert [r["id"] for r in driver["rules"]] == ["REPRO204"]
+        for result in log["runs"][0]["results"]:
+            if result["ruleId"] == "REPRO204":
+                assert result["ruleIndex"] == 0
+
+    def test_json_serializable(self):
+        text = json.dumps(diagnostics_to_sarif(_sample_diags()))
+        assert json.loads(text)["version"] == "2.1.0"
+
+
+# ---------------------------------------------------------------------------
+# --diff scoping
+
+
+class TestChangedPythonFiles:
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "t@t")
+        git("config", "user.name", "t")
+        (tmp_path / "kept.py").write_text("x = 1\n")
+        (tmp_path / "doomed.py").write_text("y = 2\n")
+        (tmp_path / "notes.md").write_text("prose\n")
+        git("add", "-A")
+        git("commit", "-qm", "base")
+        return tmp_path, git
+
+    def test_modified_new_and_untracked_py_only(self, repo):
+        root, git = repo
+        (root / "kept.py").write_text("x = 2\n")
+        (root / "doomed.py").unlink()
+        (root / "fresh.py").write_text("z = 3\n")
+        (root / "notes.md").write_text("more prose\n")
+        changed = changed_python_files("HEAD", root=root)
+        assert [p.name for p in changed] == ["fresh.py", "kept.py"]
+
+    def test_clean_tree_is_empty(self, repo):
+        root, _ = repo
+        assert changed_python_files("HEAD", root=root) == []
+
+    def test_unknown_ref_raises(self, repo):
+        root, _ = repo
+        with pytest.raises(RuntimeError):
+            changed_python_files("no-such-ref", root=root)
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+
+
+class TestLintCli:
+    def test_sarif_file_written_with_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(_FINDING_SRC)
+        out = tmp_path / "findings.sarif"
+        code = main(
+            ["lint", str(bad), "--rule", "REPRO204", "--sarif", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"REPRO204"}
+
+    def test_diff_against_head_exits_zero_on_clean_tree(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # scope to a throwaway repo so the test is independent of this
+        # checkout's working-tree state
+        subprocess.run(
+            ["git", "init", "-q"], cwd=tmp_path, check=True
+        )
+        monkeypatch.setattr(
+            "repro.analysis.toolchain.repo_root", lambda: tmp_path
+        )
+        monkeypatch.setattr("repro.analysis.repo_root", lambda: tmp_path)
+        out = tmp_path / "empty.sarif"
+        code = main(["lint", "--diff", "HEAD", "--sarif", str(out)])
+        stdout = capsys.readouterr().out
+        # a bare `git init` repo has no HEAD yet -> usage error (2);
+        # with a HEAD and no changes -> "no .py files changed" (0)
+        if code == 0:
+            assert "no .py files changed" in stdout
+            assert json.loads(out.read_text())["runs"][0]["results"] == []
+        else:
+            assert code == 2
+
+    def test_diff_unknown_ref_is_usage_error(self, capsys):
+        code = main(["lint", "--diff", "definitely-not-a-ref"])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_ci_writes_sarif_and_json_artifacts(self, tmp_path, capsys):
+        sarif = tmp_path / "ci.sarif"
+        report = tmp_path / "ci.json"
+        code = main(
+            ["lint", "--ci", "--sarif", str(sarif),
+             "--json-out", str(report)]
+        )
+        capsys.readouterr()
+        assert code == 0, "src/repro must lint clean in CI mode"
+        log = json.loads(sarif.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+        catalog = log["runs"][0]["tool"]["driver"]["rules"]
+        assert len(catalog) == len(all_rules())
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_list_rules_includes_dataflow_and_locks(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REPRO101", "REPRO204", "REPRO210", "REPRO211"):
+            assert rule_id in out
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
