@@ -1,0 +1,166 @@
+"""Extension bench — interconnect topology DSE for the sharded cluster.
+
+The cluster layer can now charge real ciphertext movement (scatter of
+hoisted NTT tiles, gather of column-shard LWE partials) to a
+discrete-event network model (:mod:`repro.hw.netsim`).  This bench runs
+the bench_cluster workload over four fabrics — ideal (infinite
+bandwidth), ring, 2D mesh, and fat-tree — on bandwidth-limited links
+and records:
+
+* per-topology makespan split into compute vs. network cycles;
+* simulated goodput (requests per device-clock second) per fabric;
+* the acceptance spread: the ideal fabric must clear > 5% more goodput
+  than the bandwidth-limited ring, with zero lost or duplicated flits
+  on every fabric and bit-identical first-request results.
+
+Results append to ``BENCH_topology.json`` via ``record_result``.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table, record_result
+
+from repro.cluster import ClusterConfig, ClusterExecutor
+
+REQUESTS = 12
+ROWS, COLS = 96, 256
+NODES = 4
+BANDWIDTH = 8  # bytes/cycle per link — deliberately starved to expose contention
+LATENCY = 4
+TOPOLOGIES = ("ideal", "ring", "mesh", "fat-tree")
+
+
+@pytest.fixture(scope="module")
+def workload(bench_scheme, rng):
+    matrix = rng.integers(-30, 30, (ROWS, COLS))
+    vectors = [rng.integers(-30, 30, COLS) for _ in range(REQUESTS)]
+    return matrix, vectors
+
+
+def _run_topology(bench_scheme, workload, topology, requests):
+    matrix, _ = workload
+    executor = ClusterExecutor(
+        bench_scheme,
+        matrix,
+        config=ClusterConfig(
+            nodes=NODES,
+            replication=2,
+            max_retries=1,
+            fault_rate=0.0,
+            seed=17,
+            topology=topology,
+            link_bandwidth=BANDWIDTH,
+            link_latency=LATENCY,
+        ),
+    )
+    results = executor.execute_batch(requests)
+    return executor, results
+
+
+def test_topology_goodput_spread(bench_scheme, workload):
+    """Acceptance: ideal fabric > 1.05x ring goodput on starved links,
+    zero dropped/duplicated flits, exact results on every fabric."""
+    matrix, vectors = workload
+    # Encrypt once so every fabric serves the *same* ciphertexts — the
+    # scheme RNG advances per encryption, and the point of the sweep is
+    # that only the network model differs between runs.
+    seeder = ClusterExecutor(
+        bench_scheme, matrix, config=ClusterConfig(nodes=NODES, seed=17)
+    )
+    requests = [seeder.encrypt_vector(v) for v in vectors]
+    want = matrix.astype(object) @ vectors[0].astype(object)
+
+    reports = {}
+    for topology in TOPOLOGIES:
+        executor, results = _run_topology(
+            bench_scheme, workload, topology, requests
+        )
+        report = executor.report()
+        assert report.dropped == 0, f"{topology} run dropped shards"
+        net = report.network
+        assert net["flits_dropped"] == 0, f"{topology} lost flits"
+        assert net["duplicates"] == 0, f"{topology} duplicated flits"
+        assert net["flits_injected"] == net["flits_delivered"]
+        got = results[0].decrypt(bench_scheme)[:ROWS]
+        assert np.array_equal(got, want), f"{topology} result mismatch"
+        reports[topology] = report
+
+    rows = [
+        (
+            topology,
+            f"{rep.compute_makespan_cycles:,}",
+            f"{rep.network_cycles:,}",
+            f"{rep.makespan_cycles:,}",
+            f"{rep.network['flits_injected']:,}",
+            f"{rep.network['blocked_attempts']:,}",
+            f"{rep.goodput_sim_rps:,.1f}",
+        )
+        for topology, rep in reports.items()
+    ]
+    print_table(
+        f"Topology DSE ({REQUESTS} reqs, {ROWS}x{COLS} matrix, "
+        f"{NODES} nodes, {BANDWIDTH} B/cycle links)",
+        ["fabric", "compute cyc", "network cyc", "makespan cyc",
+         "flits", "blocked", "goodput req/s (sim)"],
+        rows,
+    )
+
+    ratio_ring = reports["ideal"].goodput_sim_rps / reports["ring"].goodput_sim_rps
+    ratio_mesh = reports["ideal"].goodput_sim_rps / reports["mesh"].goodput_sim_rps
+    record_result(
+        "topology",
+        {
+            "goodput_sim_rps_ideal": reports["ideal"].goodput_sim_rps,
+            "goodput_sim_rps_ring": reports["ring"].goodput_sim_rps,
+            "goodput_sim_rps_mesh": reports["mesh"].goodput_sim_rps,
+            "goodput_sim_rps_fat_tree": reports["fat-tree"].goodput_sim_rps,
+            "network_cycles_ring": reports["ring"].network_cycles,
+            "network_cycles_mesh": reports["mesh"].network_cycles,
+            "network_cycles_fat_tree": reports["fat-tree"].network_cycles,
+            "ratio_ideal_vs_ring": ratio_ring,
+            "ratio_ideal_vs_mesh": ratio_mesh,
+            "flits_dropped_total": sum(
+                r.network["flits_dropped"] for r in reports.values()
+            ),
+        },
+        params={
+            "requests": REQUESTS,
+            "rows": ROWS,
+            "cols": COLS,
+            "nodes": NODES,
+            "replication": 2,
+            "bandwidth": BANDWIDTH,
+            "latency": LATENCY,
+            "topologies": list(TOPOLOGIES),
+        },
+    )
+    assert reports["ideal"].network_cycles == 0
+    assert ratio_ring > 1.05, (
+        f"ideal fabric only {ratio_ring:.3f}x the ring goodput "
+        f"(ring network share "
+        f"{reports['ring'].network_cycles / reports['ring'].makespan_cycles:.1%})"
+    )
+    assert ratio_mesh > 1.0
+
+
+def test_topology_fat_tree_beats_ring(bench_scheme, workload):
+    """The fat-tree's x-arity uplinks must move the same traffic in
+    fewer network cycles than the starved ring."""
+    matrix, vectors = workload
+    seeder = ClusterExecutor(
+        bench_scheme, matrix, config=ClusterConfig(nodes=NODES, seed=17)
+    )
+    requests = [seeder.encrypt_vector(v) for v in vectors[:4]]
+    executor, ring_results = _run_topology(
+        bench_scheme, workload, "ring", requests
+    )
+    ring_net = executor.report().network_cycles
+    executor, tree_results = _run_topology(
+        bench_scheme, workload, "fat-tree", requests
+    )
+    tree_net = executor.report().network_cycles
+    assert tree_net < ring_net, (
+        f"fat-tree network cycles {tree_net:,} not below ring {ring_net:,}"
+    )
+    for a, b in zip(ring_results, tree_results):
+        assert np.array_equal(a.decrypt(bench_scheme), b.decrypt(bench_scheme))

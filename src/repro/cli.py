@@ -443,6 +443,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         register_flip_rate=args.register_flip_rate,
         seed=args.seed,
+        topology=getattr(args, "topology", None),
+        link_bandwidth=getattr(args, "bandwidth", 64),
+        link_latency=getattr(args, "latency", 4),
+        flit_bytes=getattr(args, "flit_bytes", 64),
     )
     schedule = None
     if args.elastic or args.schedule:
@@ -515,6 +519,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"entr(ies) migrated, {m['reencodes']} re-encode(s), "
             f"{m['replica_promotions']} promotion(s)"
         )
+    if report.network:
+        n = report.network
+        print(
+            f"network: {n['topology']} fabric, "
+            f"{report.network_cycles:,} net cycles "
+            f"({n['flits_injected']:,} flits, "
+            f"{n['blocked_attempts']:,} blocked, "
+            f"max queue {n['max_queue_depth']}, "
+            f"dropped {n['flits_dropped']})"
+        )
     for node in sorted(executor.nodes.values(), key=lambda n: n.node_id):
         h = node.health()
         print(
@@ -522,6 +536,107 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"failed_attempts={h.jobs_failed} hangs={h.hangs_detected} "
             f"resets={h.resets}"
         )
+    return 0 if ok else 1
+
+
+def _cmd_netsim(args: argparse.Namespace) -> int:
+    """Interconnect demo: charge real cluster traffic through a fabric.
+
+    Runs the sharded HMVP workload with the discrete-event network
+    simulator attached, then reports the network-vs-compute cycle
+    split, per-phase flit counts, and per-link utilization.  The CI
+    smoke step asserts contention was observed (``blocked_attempts``
+    > 0 on a bandwidth-limited fabric), that no flit was lost or
+    duplicated, and that no request dropped.
+    """
+    from repro import obs
+    from repro.cluster import ClusterConfig, ClusterExecutor
+    from repro.he.bfv import BfvScheme
+    from repro.he.params import toy_params
+
+    reg = obs.enable_metrics()
+    params = toy_params(n=128, plain_bits=40)
+    scheme = BfvScheme(params, seed=args.seed, max_pack=params.n)
+    rng = np.random.default_rng(args.seed)
+    cols = args.cols if args.cols is not None else 2 * params.n
+    matrix = rng.integers(-40, 40, (args.rows, cols))
+    config = ClusterConfig(
+        nodes=args.nodes,
+        replication=args.replication,
+        seed=args.seed,
+        topology=args.topology,
+        link_bandwidth=args.bandwidth,
+        link_latency=args.latency,
+        flit_bytes=args.flit_bytes,
+    )
+    executor = ClusterExecutor(scheme, matrix, config=config)
+    vectors = [
+        rng.integers(-40, 40, cols) for _ in range(args.requests)
+    ]
+    requests = [executor.encrypt_vector(v) for v in vectors]
+    results = executor.execute_batch(requests)
+    got = results[-1].decrypt(scheme)[: args.rows]
+    want = matrix.astype(object) @ vectors[-1].astype(object)
+    correct = bool(np.array_equal(got, want))
+    report = executor.report()
+    net = report.network
+    ok = (
+        correct
+        and report.dropped == 0
+        and net["flits_dropped"] == 0
+        and net["duplicates"] == 0
+    )
+    if args.json:
+        payload = report.to_dict()
+        payload["correct"] = correct
+        snap = reg.snapshot()
+        payload["counters"] = {
+            k: v for k, v in snap["counters"].items()
+            if k.startswith("cluster.")
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    total = report.makespan_cycles or 1
+    print(
+        f"netsim : {args.requests} requests x ({args.rows}x{cols}) matrix "
+        f"over {args.nodes} node(s) on a '{net['topology']}' fabric "
+        f"({args.bandwidth} B/cycle links, latency {args.latency}, "
+        f"{net['flit_bytes']}-byte flits)"
+    )
+    print(
+        f"cycles : compute {report.compute_makespan_cycles:,} + network "
+        f"{report.network_cycles:,} = {report.makespan_cycles:,} makespan "
+        f"({100 * report.network_cycles / total:.1f}% network)"
+    )
+    print(
+        f"traffic: {net['messages']:,} messages, "
+        f"{net['flits_injected']:,} flits injected, "
+        f"{net['flits_delivered']:,} delivered, "
+        f"{net['flits_dropped']} dropped, {net['duplicates']} duplicated"
+    )
+    print(
+        f"fabric : {net['blocked_attempts']:,} blocked head-flit attempts, "
+        f"max link queue {net['max_queue_depth']}/"
+        f"{net['buffer_flits']}, max DMA queue {net['max_inject_depth']}, "
+        f"{net['events']:,} events"
+    )
+    for phase, row in net["phases"].items():
+        print(
+            f"phase  : {phase:12s} {row['cycles']:>9,} cycles "
+            f"{row['flits']:>8,} flits {row['messages']:>5,} msgs "
+            f"{row['nbytes']:>11,} bytes"
+        )
+    busiest = sorted(
+        net["links"].items(),
+        key=lambda kv: -kv[1]["busy_cycles"],
+    )[:5]
+    for name, row in busiest:
+        print(
+            f"link   : {name:14s} util {row['utilization']:.3f} "
+            f"flits {row['flits']:>8,} blocked {row['blocked']:>7,} "
+            f"depth {row['max_depth']}"
+        )
+    print(f"trace  : sha256 {net['trace_sha256'][:16]}… ok={ok}")
     return 0 if ok else 1
 
 
@@ -801,9 +916,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="membership schedule 'seq:kind[:node],...' "
                               "e.g. '4:kill:3,4:kill:2,8:join,8:join' "
                               "(kinds: join/leave/kill; implies --elastic)")
+    cluster.add_argument("--topology", type=str, default=None,
+                         choices=["ideal", "ring", "mesh", "fat-tree"],
+                         help="attach the interconnect simulator and "
+                              "charge scatter/gather/migration traffic "
+                              "(default: free comm)")
+    cluster.add_argument("--bandwidth", type=int, default=64,
+                         help="link bandwidth in bytes/cycle")
+    cluster.add_argument("--latency", type=int, default=4,
+                         help="per-hop pipeline latency in cycles")
+    cluster.add_argument("--flit-bytes", type=int, default=64,
+                         dest="flit_bytes", help="wire flit size")
     cluster.add_argument("--json", action="store_true",
                          help="dump the cluster report + counters as JSON")
     cluster.set_defaults(func=_cmd_cluster)
+
+    netsim = sub.add_parser(
+        "netsim",
+        help="interconnect simulation of the cluster data path",
+    )
+    netsim.add_argument("--topology", type=str, default="mesh",
+                        choices=["ideal", "ring", "mesh", "fat-tree"],
+                        help="fabric to charge ciphertext movement through")
+    netsim.add_argument("--requests", type=int, default=4)
+    netsim.add_argument("--nodes", type=int, default=4)
+    netsim.add_argument("--replication", type=int, default=2)
+    netsim.add_argument("--rows", type=int, default=96)
+    netsim.add_argument("--cols", type=int, default=None,
+                        help="matrix columns (default: 2 ring tiles)")
+    netsim.add_argument("--bandwidth", type=int, default=16,
+                        help="link bandwidth in bytes/cycle")
+    netsim.add_argument("--latency", type=int, default=4,
+                        help="per-hop pipeline latency in cycles")
+    netsim.add_argument("--flit-bytes", type=int, default=64,
+                        dest="flit_bytes", help="wire flit size")
+    netsim.add_argument("--seed", type=int, default=0)
+    netsim.add_argument("--json", action="store_true",
+                        help="dump the cluster report (with the network "
+                             "block) + counters as JSON")
+    netsim.set_defaults(func=_cmd_netsim)
 
     lint = sub.add_parser(
         "lint", help="HE-aware static analysis (repro.analysis)"

@@ -27,6 +27,7 @@ for the partitioning and migration algebra.
 
 from .autoscaler import Autoscaler, AutoscalerConfig
 from .executor import ClusterConfig, ClusterExecutor, ClusterReport, ShardOutcome
+from .interconnect import ClusterInterconnect
 from .membership import (
     ClusterController,
     MembershipError,
@@ -34,6 +35,7 @@ from .membership import (
     MembershipSchedule,
 )
 from .partition import (
+    CommSpec,
     PartitionError,
     PartitionPlan,
     PartitionPlanner,
@@ -43,6 +45,8 @@ from .partition import (
 from .placement import ClusterNode, ShardPlacement, build_nodes, make_cluster_node
 
 __all__ = [
+    "CommSpec",
+    "ClusterInterconnect",
     "PartitionError",
     "Shard",
     "PartitionPlan",

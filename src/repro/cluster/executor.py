@@ -30,7 +30,7 @@ The differential and metamorphic suites
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -42,10 +42,18 @@ from ..he.rlwe import RlweCiphertext
 from ..hw.arch import ChamConfig, cham_default_config
 from ..hw.perf import CpuCostModel
 from ..hw.runtime import DeviceHangError, FaultInjector, JobState, RegisterLoadError
+from ..hw.topology import COORDINATOR
 from ..math.modular import modadd_vec
 from .autoscaler import Autoscaler
+from .interconnect import ClusterInterconnect
 from .membership import ClusterController, MembershipSchedule
-from .partition import PartitionError, PartitionPlan, PartitionPlanner, Shard
+from .partition import (
+    CommSpec,
+    PartitionError,
+    PartitionPlan,
+    PartitionPlanner,
+    Shard,
+)
 from .placement import ClusterNode, ShardPlacement, build_nodes
 
 __all__ = [
@@ -80,6 +88,20 @@ class ClusterConfig:
     #: rows per output pack of the gathered result; defaults to the ring
     #: degree (the unsharded engine's tile structure)
     tile_rows: Optional[int] = None
+    #: interconnect model: ``None`` keeps the historical free-comm
+    #: behavior (no simulator attached at all); ``"ideal"`` attaches the
+    #: zero-cost fabric (flits counted, zero cycles — bit-identical
+    #: timing to ``None``); ``"ring"``/``"mesh"``/``"fat-tree"`` charge
+    #: real contention through :mod:`repro.hw.netsim`
+    topology: Optional[str] = None
+    #: bytes per cycle each link accepts (ignored when ``topology=None``)
+    link_bandwidth: int = 64
+    #: pipeline cycles per hop
+    link_latency: int = 4
+    #: wire flit size; payloads round up to whole flits
+    flit_bytes: int = 64
+    #: input-buffer depth per link (credit count), >= 2
+    net_buffer_flits: int = 4
 
 
 @dataclass
@@ -120,6 +142,11 @@ class ClusterReport:
     placement: Dict[str, object] = field(default_factory=dict)
     #: membership counters (zeros on a static, schedule-free run)
     membership: Dict[str, object] = field(default_factory=dict)
+    #: cycles the coordinator spent blocked on ciphertext movement
+    #: (0 with no interconnect attached, and on the ideal fabric)
+    network_cycles: int = 0
+    #: lifetime interconnect stats ({} with no interconnect attached)
+    network: Dict[str, object] = field(default_factory=dict)
 
     @property
     def dropped(self) -> int:
@@ -127,13 +154,24 @@ class ClusterReport:
         return self.requests * self.shards_per_request - self.shard_executions
 
     @property
-    def makespan_cycles(self) -> int:
-        """Busiest resource: the slowest node, or the CPU fallback lane."""
+    def compute_makespan_cycles(self) -> int:
+        """Busiest compute resource: slowest node or the CPU lane."""
         return max(
             list(self.per_node_busy_cycles.values())
             + [self.cpu_fallback_cycles],
             default=0,
         )
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Compute makespan plus coordinator-serialized network cycles.
+
+        Scatter/gather drains block the coordinator between compute
+        phases, so network time adds to — never hides under — the
+        busiest node.  With ``topology=None`` or ``"ideal"`` this equals
+        the historical compute-only makespan exactly.
+        """
+        return self.compute_makespan_cycles + self.network_cycles
 
     @property
     def goodput_sim_rps(self) -> float:
@@ -167,6 +205,8 @@ class ClusterReport:
                 for nid, cycles in sorted(self.per_node_busy_cycles.items())
             },
             "cpu_fallback_cycles": self.cpu_fallback_cycles,
+            "compute_makespan_cycles": self.compute_makespan_cycles,
+            "network_cycles": self.network_cycles,
             "makespan_cycles": self.makespan_cycles,
             "goodput_sim_rps": self.goodput_sim_rps,
             "estimated_single_node_cycles": self.estimated_single_node_cycles,
@@ -174,6 +214,7 @@ class ClusterReport:
             "plan": self.plan,
             "placement": self.placement,
             "membership": self.membership,
+            "network": self.network,
         }
 
 
@@ -229,7 +270,20 @@ class ClusterExecutor:
         self.rows, self.cols = (int(x) for x in matrix.shape)
         self.cham = cham or cham_default_config()
         ring = scheme.params.n
-        self.planner = PartitionPlanner(ring, engine=self.cham.engine)
+        limbs = len(scheme.ctx.ct_basis)
+        comm: Optional[CommSpec] = None
+        if self.config.topology is not None:
+            comm = CommSpec(
+                kind=self.config.topology,
+                bandwidth=self.config.link_bandwidth,
+                latency=self.config.link_latency,
+                flit_bytes=self.config.flit_bytes,
+                buffer_flits=self.config.net_buffer_flits,
+                ct_limbs=limbs,
+            )
+        self.planner = PartitionPlanner(
+            ring, engine=self.cham.engine, comm=comm
+        )
         if plan is None:
             plan = self.planner.plan(
                 self.rows, self.cols, nodes=self.config.nodes
@@ -266,6 +320,26 @@ class ClusterExecutor:
             register_flip_rate=self.config.register_flip_rate,
             resets_to_recover=self.config.resets_to_recover,
         )
+        #: event-driven interconnect; None keeps comm free (the
+        #: historical behavior, and the calibration point the netsim
+        #: property suite compares the ideal fabric against)
+        self.interconnect: Optional[ClusterInterconnect] = None
+        if self.config.topology is not None:
+            self.interconnect = ClusterInterconnect(
+                self.config.topology,
+                placement.node_ids,
+                bandwidth=self.config.link_bandwidth,
+                latency=self.config.link_latency,
+                flit_bytes=self.config.flit_bytes,
+                buffer_flits=self.config.net_buffer_flits,
+            )
+        #: exact gather payload per shard: the partial is one (L, rows)
+        #: b plus one (L, rows, n) a, both uint64
+        self._shard_gather_bytes: Dict[int, int] = {
+            s.shard_id: limbs * s.rows * (1 + ring) * 8 for s in plan.shards
+        }
+        #: per-request hoisted-tile bytes by shard (set at scatter time)
+        self._current_scatter_bytes: Dict[int, int] = {}
         self._cpu_model = CpuCostModel()
         self._single_node_cycles_per_request = sum(costs)
         #: shard_id -> cycle cost (the membership layer balances by these)
@@ -358,10 +432,22 @@ class ClusterExecutor:
         for _pass in range(self.config.max_retries + 1):
             for node_id in hosted:
                 node = self.nodes[node_id]
-                est_ms = (
-                    1e3 * node.runtime.estimate_cycles(shard.rows, col_tiles)
-                    / clock
+                est_cycles = node.runtime.estimate_cycles(
+                    shard.rows, col_tiles
                 )
+                if self.interconnect is not None:
+                    # an attempt on this node also has to move the
+                    # ciphertext tiles in and the LWE partial back out
+                    est_cycles += self.interconnect.estimate_transfer_cycles(
+                        COORDINATOR,
+                        node_id,
+                        self._current_scatter_bytes.get(shard.shard_id, 0),
+                    ) + self.interconnect.estimate_transfer_cycles(
+                        node_id,
+                        COORDINATOR,
+                        self._shard_gather_bytes[shard.shard_id],
+                    )
+                est_ms = 1e3 * est_cycles / clock
                 if spent_ms + est_ms > deadline_budget_ms:
                     # the next attempt cannot finish inside the request
                     # deadline on the simulated clock: stop failing over
@@ -422,6 +508,122 @@ class ClusterExecutor:
             degraded=True,
             cycles=cycles,
         )
+
+    # -- network charging --------------------------------------------------
+    #
+    # The interconnect changes *pricing only*: every method below is a
+    # no-op without a topology, and none of them touches ciphertext
+    # values or RNG streams — the differential suite pins that results
+    # stay per-limb bit-identical across fabrics.
+
+    def _charge_scatter(
+        self, hoisted: Sequence[Tuple[np.ndarray, ...]]
+    ) -> None:
+        """Move each hoisted ciphertext tile to the shards' primaries.
+
+        A (node, tile) pair is charged once even when several shards on
+        that node share the tile — the payload is the actual hoisted
+        ndarray bytes, flit-quantized by the simulator.
+        """
+        ring = self.plan.ring_n
+        tile_bytes = [sum(int(a.nbytes) for a in h) for h in hoisted]
+        self._current_scatter_bytes = {
+            s.shard_id: sum(
+                tile_bytes[t] for t in range(*s.tile_range(ring))
+            )
+            for s in self.plan.shards
+        }
+        if self.interconnect is None:
+            return
+        with obs.span("cluster.net.scatter") as net_span:
+            self.interconnect.begin_phase("scatter")
+            sent: Set[Tuple[int, int]] = set()
+            for shard in self.plan.shards:
+                primary = self.placement.nodes_for(shard.shard_id)[0]
+                t0, t1 = shard.tile_range(ring)
+                for t in range(t0, t1):
+                    if (primary, t) in sent:
+                        continue
+                    sent.add((primary, t))
+                    self.interconnect.inject(
+                        COORDINATOR, primary, tile_bytes[t], tag=f"tile{t}"
+                    )
+            cycles = self.interconnect.drain("scatter")
+            net_span.set(cycles=cycles, messages=len(sent))
+            obs.inc("cluster.net.cycles", cycles)
+
+    def _charge_failover(self, outcomes: Sequence[ShardOutcome]) -> None:
+        """Re-send ciphertext tiles to replicas that took over a shard."""
+        if self.interconnect is None:
+            return
+        resends = [
+            o
+            for o in outcomes
+            if o.rerouted and not o.degraded and o.node_id is not None
+        ]
+        if not resends:
+            return
+        with obs.span("cluster.net.failover") as net_span:
+            self.interconnect.begin_phase("failover")
+            for o in resends:
+                self.interconnect.inject(
+                    COORDINATOR,
+                    o.node_id,
+                    self._current_scatter_bytes.get(o.shard_id, 0),
+                    tag=f"re{o.shard_id}",
+                )
+            cycles = self.interconnect.drain("failover")
+            net_span.set(cycles=cycles, messages=len(resends))
+            obs.inc("cluster.net.cycles", cycles)
+
+    def _charge_gather(
+        self,
+        outcomes: Sequence[ShardOutcome],
+        partials: Dict[int, "Tuple[np.ndarray, np.ndarray]"],
+    ) -> None:
+        """Ship each shard's LWE partial back, sized from its arrays.
+
+        CPU-degraded shards computed on the coordinator's fallback lane,
+        so they have nothing to ship.
+        """
+        if self.interconnect is None:
+            return
+        with obs.span("cluster.net.gather") as net_span:
+            self.interconnect.begin_phase("gather")
+            messages = 0
+            for o in outcomes:
+                if o.degraded or o.node_id is None:
+                    continue
+                b, a = partials[o.shard_id]
+                self.interconnect.inject(
+                    o.node_id,
+                    COORDINATOR,
+                    int(b.nbytes) + int(a.nbytes),
+                    tag=f"g{o.shard_id}",
+                )
+                messages += 1
+            cycles = self.interconnect.drain("gather")
+            net_span.set(cycles=cycles, messages=messages)
+            obs.inc("cluster.net.cycles", cycles)
+            obs.set_gauge(
+                "cluster.net.total_cycles", self.interconnect.total_cycles
+            )
+
+    def _net_set_nodes(self) -> None:
+        """Rewire the fabric after membership churn (controller hook)."""
+        if self.interconnect is not None:
+            self.interconnect.set_nodes(sorted(self.nodes))
+
+    def _net_transfer(
+        self, src: Optional[int], dst: int, nbytes: int, tag: str = ""
+    ) -> None:
+        """Charge replica-sync migration traffic (controller hook)."""
+        if self.interconnect is None or src is None:
+            return
+        cycles = self.interconnect.transfer(
+            src, dst, nbytes, phase="replica_sync", tag=tag
+        )
+        obs.inc("cluster.net.cycles", cycles)
 
     # -- the exact data path ----------------------------------------------
 
@@ -542,9 +744,12 @@ class ClusterExecutor:
                 first = self.plan.shards[0].shard_id
                 host = self.nodes[self.placement.nodes_for(first)[0]]
                 hoisted = [host.engines[first].hoist(ct) for ct in ct_tiles]
+            self._charge_scatter(hoisted)
             partials: Dict[int, "Tuple[np.ndarray, np.ndarray]"] = {}
+            outcomes: List[ShardOutcome] = []
             for shard in self.plan.shards:
                 outcome = self._serve_shard(shard, budget_ms)
+                outcomes.append(outcome)
                 self.shard_executions += 1
                 obs.inc("cluster.shard_executions")
                 serving_node = (
@@ -568,6 +773,8 @@ class ClusterExecutor:
                         hoisted_tiles=hoisted[t0:t1]
                     )
                 partials[shard.shard_id] = partial_tiles[0]
+            self._charge_failover(outcomes)
+            self._charge_gather(outcomes, partials)
             result = self._gather(partials)
         self.requests_served += 1
         return result
@@ -621,6 +828,16 @@ class ClusterExecutor:
             membership=(
                 self.controller.to_dict()
                 if self.controller is not None
+                else {}
+            ),
+            network_cycles=(
+                self.interconnect.total_cycles
+                if self.interconnect is not None
+                else 0
+            ),
+            network=(
+                self.interconnect.network_block()
+                if self.interconnect is not None
                 else {}
             ),
         )

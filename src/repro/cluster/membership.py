@@ -345,18 +345,29 @@ class ClusterController:
                 n for n in sorted(executor.nodes) if n not in hosted
             ]
             source = None
+            source_nid = None
             for nid in search:
                 node = executor.nodes[nid]
                 if node is not target:
                     entry = node.cache.peek(key)
                     if entry is not None:
                         source = entry
+                        source_nid = nid
                         break
             if source is not None:
                 target.cache.install(key, source)
                 self.migrated_entries += 1
                 self.reencodes_avoided += 1
                 obs.inc("cluster.migration.entries")
+                # replica-sync traffic: the encoded entry moves
+                # cache-to-cache over the interconnect (no-op when no
+                # topology is attached), sized from its actual tiles
+                executor._net_transfer(
+                    source_nid,
+                    target.node_id,
+                    sum(int(t.nbytes) for t in source.tiles.values()),
+                    tag=f"sync{shard.shard_id}",
+                )
             else:
                 self.reencodes += 1
                 obs.inc("cluster.migration.reencodes")
@@ -409,6 +420,9 @@ class ClusterController:
         )
         executor.nodes[node_id] = node
         executor.placement.add_node(node_id)
+        # rewire the interconnect first so the staging migrations below
+        # can charge their replica-sync traffic to the new endpoint
+        executor._net_set_nodes()
         if obs.TRACER.enabled:
             obs.TRACER.name_process(node_id + 1, f"node{node_id}")
         costs = self.executor.shard_costs
@@ -486,6 +500,7 @@ class ClusterController:
             node.engines.pop(sid, None)
         placement.remove_node(node_id)
         self._retire(node)
+        executor._net_set_nodes()
         self.leaves += 1
 
     def _kill(self, node_id: int) -> None:
@@ -504,6 +519,9 @@ class ClusterController:
         if len(executor.nodes) == 1:
             raise MembershipError("cannot kill the last node")
         self._retire(node)  # dead first: its cache must not be a source
+        # drop the dead endpoint before the re-homing migrations charge
+        # their replica-sync traffic among the survivors
+        executor._net_set_nodes()
         placement = executor.placement
         for sid in placement.node_shards(node_id):
             hosted = placement.nodes_for(sid)

@@ -28,14 +28,17 @@ row-independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..hw.arch import EngineConfig
+from ..hw.netsim import NetworkSimulator
 from ..hw.pipeline import MacroPipeline
+from ..hw.topology import COORDINATOR, build_topology
 
 __all__ = [
+    "CommSpec",
     "PartitionError",
     "Shard",
     "PartitionPlan",
@@ -46,6 +49,36 @@ __all__ = [
 
 class PartitionError(ValueError):
     """A partition plan violates the exactness or capacity constraints."""
+
+
+@dataclass(frozen=True)
+class CommSpec:
+    """Interconnect parameters the planner prices candidate grids with.
+
+    Mirrors the :class:`repro.cluster.executor.ClusterConfig` network
+    knobs plus the ciphertext geometry needed to size payloads without
+    touching live arrays: a hoisted scatter tile is two ``(L+1, n)``
+    uint64 components, a gathered partial is one ``(L, rows)`` b plus
+    one ``(L, rows, n)`` a.  With ``kind="ideal"`` every transfer costs
+    zero cycles, so the planner's choices match the comm-free search
+    exactly.
+    """
+
+    kind: str = "ideal"
+    bandwidth: int = 64
+    latency: int = 4
+    flit_bytes: int = 64
+    buffer_flits: int = 4
+    arity: int = 2
+    #: ciphertext-modulus limb count L (augmented basis is L + 1)
+    ct_limbs: int = 2
+    coeff_bytes: int = 8
+
+    def scatter_tile_bytes(self, ring_n: int) -> int:
+        return 2 * (self.ct_limbs + 1) * ring_n * self.coeff_bytes
+
+    def gather_partial_bytes(self, rows: int, ring_n: int) -> int:
+        return self.ct_limbs * rows * (1 + ring_n) * self.coeff_bytes
 
 
 @dataclass(frozen=True)
@@ -212,12 +245,17 @@ class PartitionPlanner:
         self,
         ring_n: int,
         engine: Optional[EngineConfig] = None,
+        comm: Optional[CommSpec] = None,
     ) -> None:
         if ring_n < 1:
             raise PartitionError("ring degree must be positive")
         self.ring_n = ring_n
         self._pipeline = MacroPipeline(engine or EngineConfig())
         self._cost_cache: Dict[Tuple[int, int], int] = {}
+        #: interconnect pricing; None keeps the historical compute-only
+        #: scoring (equivalent to passing ``comm_free=True`` everywhere)
+        self.comm = comm
+        self._comm_cache: Dict[Tuple, int] = {}
 
     def shard_cost_cycles(self, rows: int, col_tiles: int = 1) -> int:
         """Simulated device cycles for one ``(rows, col_tiles)`` shard."""
@@ -251,12 +289,101 @@ class PartitionPlanner:
         }
 
     def estimate_makespan(self, plan: PartitionPlan, nodes: int) -> int:
-        """LPT greedy lower bound on the plan's makespan over ``nodes``."""
+        """LPT greedy lower bound on the plan's *compute* makespan."""
         loads = [0] * max(nodes, 1)
         for cost in sorted(self.plan_cost_cycles(plan), reverse=True):
             idx = min(range(len(loads)), key=loads.__getitem__)
             loads[idx] += cost
         return max(loads)
+
+    def _lpt_assignment(
+        self, plan: PartitionPlan, nodes: int
+    ) -> Dict[int, int]:
+        """Shard id -> node id under the same LPT policy placement uses.
+
+        Mirrors :meth:`repro.cluster.placement.ShardPlacement.place`:
+        longest shard first onto the least-loaded node, ties by
+        ``(load, node_id)`` then shard id.
+        """
+        costs = self.plan_cost_cycles(plan)
+        loads = {nid: 0 for nid in range(max(nodes, 1))}
+        order = sorted(
+            range(len(plan.shards)),
+            key=lambda i: (-costs[i], plan.shards[i].shard_id),
+        )
+        assignment: Dict[int, int] = {}
+        for idx in order:
+            node = min(loads, key=lambda n: (loads[n], n))
+            loads[node] += costs[idx]
+            assignment[plan.shards[idx].shard_id] = node
+        return assignment
+
+    def estimate_comm_cycles(self, plan: PartitionPlan, nodes: int) -> int:
+        """Simulated network cycles for one request of this plan.
+
+        Replays the executor's scatter/gather traffic for the candidate
+        grid through the *actual* event simulator on the planner's
+        :class:`CommSpec` fabric: hoisted ciphertext tiles out to each
+        shard's LPT-assigned node (deduplicated per (node, tile), like
+        the real scatter), LWE partials back.  Zero without a
+        :class:`CommSpec` and on the ideal fabric, so attaching an
+        infinite-bandwidth network never changes a planning decision.
+        """
+        if self.comm is None:
+            return 0
+        key = (plan.row_cuts, plan.col_cuts, nodes)
+        cached = self._comm_cache.get(key)
+        if cached is not None:
+            return cached
+        spec = self.comm
+        topology = build_topology(
+            spec.kind,
+            list(range(max(nodes, 1))),
+            bandwidth=spec.bandwidth,
+            latency=spec.latency,
+            arity=spec.arity,
+        )
+        sim = NetworkSimulator(
+            topology,
+            flit_bytes=spec.flit_bytes,
+            buffer_flits=spec.buffer_flits,
+        )
+        assignment = self._lpt_assignment(plan, nodes)
+        tile_bytes = spec.scatter_tile_bytes(self.ring_n)
+        sim.begin_phase("scatter")
+        sent: Set[Tuple[int, int]] = set()
+        for shard in plan.shards:
+            node = assignment[shard.shard_id]
+            for t in range(*shard.tile_range(plan.ring_n)):
+                if (node, t) in sent:
+                    continue
+                sent.add((node, t))
+                sim.inject(COORDINATOR, node, tile_bytes)
+        cycles = sim.drain()
+        sim.begin_phase("gather")
+        for shard in plan.shards:
+            sim.inject(
+                assignment[shard.shard_id],
+                COORDINATOR,
+                spec.gather_partial_bytes(shard.rows, self.ring_n),
+            )
+        cycles += sim.drain()
+        self._comm_cache[key] = cycles
+        return cycles
+
+    def estimate_total_cycles(
+        self, plan: PartitionPlan, nodes: int, comm_free: bool = False
+    ) -> int:
+        """Compute makespan plus the communication term.
+
+        ``comm_free=True`` is the escape hatch recovering the historical
+        compute-only score (also the behavior when no :class:`CommSpec`
+        is attached).
+        """
+        total = self.estimate_makespan(plan, nodes)
+        if not comm_free:
+            total += self.estimate_comm_cycles(plan, nodes)
+        return total
 
     def plan_from_cuts(
         self,
@@ -274,14 +401,26 @@ class PartitionPlanner:
             col_cuts=tuple(col_cuts),
         )
 
-    def plan(self, rows: int, cols: int, nodes: int = 1) -> PartitionPlan:
-        """Search band counts for the least estimated makespan.
+    def plan(
+        self,
+        rows: int,
+        cols: int,
+        nodes: int = 1,
+        comm_free: bool = False,
+    ) -> PartitionPlan:
+        """Search band counts for the least estimated total cycles.
 
         Row bands range from the forced minimum (``ceil(rows/N)``) up to
         a bounded number of extra splits; column bands range over every
-        grouping of the ciphertext tiles.  Ties prefer *fewer* shards —
-        each extra shard adds merge traffic and (for row splits of a
-        pack tile) central pack work the estimate does not price.
+        grouping of the ciphertext tiles.  The score is compute makespan
+        plus the :class:`CommSpec` communication term — splitting rows
+        multiplies scatter traffic (each shard needs its full ciphertext
+        tiles), so grids that win on compute balance alone can lose on a
+        bandwidth-limited fabric.  ``comm_free=True`` (or no comm spec)
+        recovers the historical compute-only search.  Ties prefer
+        *fewer* shards — each extra shard adds merge traffic and (for
+        row splits of a pack tile) central pack work the estimate does
+        not price.
         """
         if rows < 1 or cols < 1:
             raise PartitionError("matrix extents must be positive")
@@ -305,7 +444,9 @@ class PartitionPlanner:
                     col_cuts=col_cuts,
                 )
                 key = (
-                    self.estimate_makespan(candidate, nodes),
+                    self.estimate_total_cycles(
+                        candidate, nodes, comm_free=comm_free
+                    ),
                     len(candidate.shards),
                 )
                 if best is None or key < (best[0], best[1]):

@@ -9,7 +9,10 @@
 * :mod:`repro.hw.dse` — Fig. 2b design-space exploration;
 * :mod:`repro.hw.hetero` — Fig. 1b CPU+FPGA interleaving;
 * :mod:`repro.hw.perf` — calibrated CPU/GPU/CHAM end-to-end models;
-* :mod:`repro.hw.runtime` — RAS runtime simulation (Section III-C).
+* :mod:`repro.hw.runtime` — RAS runtime simulation (Section III-C);
+* :mod:`repro.hw.topology` — interconnect graphs (ring/mesh/fat-tree);
+* :mod:`repro.hw.netsim` — deterministic discrete-event network
+  simulator with credit-based flow control.
 """
 
 from .arch import (
@@ -74,6 +77,25 @@ from .runtime import (
     JobState,
     RegisterLoadError,
     VirtualFpga,
+)
+from .topology import (
+    COORDINATOR,
+    Link,
+    TOPOLOGY_KINDS,
+    Topology,
+    TopologyError,
+    build_topology,
+    fat_tree_topology,
+    ideal_topology,
+    mesh2d_topology,
+    ring_topology,
+)
+from .netsim import (
+    Flit,
+    MessageRecord,
+    NetworkSimulator,
+    Router,
+    SimulatorEngine,
 )
 
 __all__ = [
@@ -153,4 +175,19 @@ __all__ = [
     "JobState",
     "RegisterLoadError",
     "VirtualFpga",
+    "COORDINATOR",
+    "Link",
+    "TOPOLOGY_KINDS",
+    "Topology",
+    "TopologyError",
+    "build_topology",
+    "fat_tree_topology",
+    "ideal_topology",
+    "mesh2d_topology",
+    "ring_topology",
+    "Flit",
+    "MessageRecord",
+    "NetworkSimulator",
+    "Router",
+    "SimulatorEngine",
 ]

@@ -1,0 +1,543 @@
+"""Deterministic discrete-event simulation of the cluster interconnect.
+
+Three layers, smallest first:
+
+:class:`SimulatorEngine`
+    A bare event queue: a heap of ``(time, seq, event)`` where ``seq`` is
+    a monotone schedule counter, so two events at the same cycle always
+    replay in the order they were scheduled.  No wall clock, no
+    randomness — a run is a pure function of the injected workload, and
+    the engine folds every handled event into a running sha256 so two
+    runs can be compared by digest alone.
+
+:class:`Router`
+    Per-router queue state: an unbounded DMA-style injection queue (the
+    source endpoint's memory is not our concern) and one bounded FIFO
+    input buffer per incoming link.  Output side holds the credit count
+    and ``free_at`` serialization horizon per outgoing link.
+
+:class:`NetworkSimulator`
+    The facade the cluster layer talks to: ``inject(src, dst, nbytes)``
+    splits a message into fixed-size flits, routers forward them hop by
+    hop under credit-based backpressure (a sender spends one credit per
+    flit and gets it back only when the downstream buffer slot frees),
+    links serialise at ``bandwidth`` bytes/cycle and add ``latency``
+    pipeline cycles per hop.  ``drain()`` runs the queue dry and returns
+    the cycles the current phase took.
+
+Flow control invariant: credits per link start at the downstream buffer
+capacity and are decremented at send time, incremented one cycle after
+the downstream slot frees — so an input FIFO can never hold more than
+``buffer_flits`` flits, and a stalled hop propagates backpressure
+upstream instead of dropping anything.  Conservation (every injected
+flit delivered exactly once) is tracked explicitly and asserted by the
+property suite in ``tests/test_netsim_properties.py``.
+
+On the ``ideal`` topology there are no links: flits teleport at the
+injection cycle, so drained phases cost zero cycles while flit counts
+remain comparable with real topologies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .topology import Link, Topology, TopologyError
+
+__all__ = [
+    "CREDIT_RETURN_CYCLES",
+    "Flit",
+    "MessageRecord",
+    "NetworkSimulator",
+    "Router",
+    "SimulatorEngine",
+]
+
+#: Cycles for a freed buffer slot's credit to reach the upstream sender.
+CREDIT_RETURN_CYCLES = 1
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One fixed-size unit of a message on the wire."""
+
+    msg_id: int
+    index: int
+    count: int
+    src: int
+    dst: int
+    nbytes: int
+
+
+@dataclass
+class MessageRecord:
+    msg_id: int
+    src: int
+    dst: int
+    nbytes: int
+    flits: int
+    phase: str
+    tag: str
+    injected_at: int
+    delivered_flits: int = 0
+    delivered_at: Optional[int] = None
+
+
+class SimulatorEngine:
+    """Event heap with stable ``(time, seq)`` ordering and a trace hash."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Tuple[object, ...]]] = []
+        self._seq = 0
+        self._now = 0
+        self._events_handled = 0
+        self._trace = hashlib.sha256()
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def events_handled(self) -> int:
+        return self._events_handled
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: int, event: Tuple[object, ...]) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, (int(time), self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Tuple[int, int, Tuple[object, ...]]:
+        time, seq, event = heapq.heappop(self._heap)
+        self._now = time
+        self._events_handled += 1
+        return time, seq, event
+
+    def record(self, line: str) -> None:
+        """Fold one trace line into the running digest."""
+        self._trace.update(line.encode("ascii"))
+        self._trace.update(b"\n")
+
+    def trace_digest(self) -> str:
+        return self._trace.hexdigest()
+
+
+@dataclass
+class Router:
+    """Queue and flow-control state for one router."""
+
+    name: str
+    #: DMA source queue: flits awaiting their first hop (unbounded)
+    inject_q: Deque[Flit] = field(default_factory=deque)
+    #: bounded input FIFO per incoming link id
+    in_bufs: Dict[int, Deque[Flit]] = field(default_factory=dict)
+    #: available credits per *outgoing* link id
+    credits: Dict[int, int] = field(default_factory=dict)
+    #: cycle each outgoing link finishes serialising its current flit
+    free_at: Dict[int, int] = field(default_factory=dict)
+    max_inject_depth: int = 0
+
+
+class _LinkStats:
+    __slots__ = ("flits", "nbytes", "busy_cycles", "blocked", "max_depth")
+
+    def __init__(self) -> None:
+        self.flits = 0
+        self.nbytes = 0
+        self.busy_cycles = 0
+        self.blocked = 0
+        self.max_depth = 0
+
+
+class NetworkSimulator:
+    """Credit-flow flit simulator over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        flit_bytes: int = 64,
+        buffer_flits: int = 4,
+        record_orders: bool = False,
+    ) -> None:
+        if flit_bytes < 1:
+            raise ValueError(f"flit_bytes must be >= 1, got {flit_bytes}")
+        if buffer_flits < 2:
+            # bubble flow control needs one spare slot per cyclic channel
+            raise ValueError(f"buffer_flits must be >= 2, got {buffer_flits}")
+        self.topology = topology
+        self.flit_bytes = int(flit_bytes)
+        self.buffer_flits = int(buffer_flits)
+        self.engine = SimulatorEngine()
+        self.messages: Dict[int, MessageRecord] = {}
+        self._next_msg_id = 0
+        self._phase = "idle"
+        self._phase_start = 0
+        self._phases: Dict[str, Dict[str, int]] = {}
+        self._link_stats: Dict[int, _LinkStats] = {}
+        self._links_by_id: Dict[int, Link] = {}
+        self._delivered_keys: set = set()
+        self._duplicates = 0
+        self._flits_injected = 0
+        self._flits_delivered = 0
+        self._blocked_attempts = 0
+        self._pump_pending: set = set()
+        #: per-link (msg_id, flit_index) send/arrive orders for the
+        #: FIFO property tests; disabled by default to bound memory
+        self.record_orders = record_orders
+        self.sent_order: Dict[int, List[Tuple[int, int]]] = {}
+        self.arrive_order: Dict[int, List[Tuple[int, int]]] = {}
+
+        self.routers: Dict[str, Router] = {
+            name: Router(name=name) for name in topology.routers
+        }
+        for link in topology.links:
+            self._links_by_id[link.link_id] = link
+            self._link_stats[link.link_id] = _LinkStats()
+            self.routers[link.dst].in_bufs[link.link_id] = deque()
+            self.routers[link.src].credits[link.link_id] = self.buffer_flits
+            self.routers[link.src].free_at[link.link_id] = 0
+            if record_orders:
+                self.sent_order[link.link_id] = []
+                self.arrive_order[link.link_id] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    def begin_phase(self, name: str) -> None:
+        self._phase = str(name)
+        self._phase_start = self.engine.now
+        self._phases.setdefault(
+            self._phase,
+            {"cycles": 0, "flits": 0, "messages": 0, "nbytes": 0, "drains": 0},
+        )
+
+    def inject(self, src: int, dst: int, nbytes: int, tag: str = "") -> int:
+        """Queue a DMA-style message injection at the current cycle."""
+        if src not in self.topology.endpoints:
+            raise TopologyError(f"unknown source endpoint {src}")
+        if dst not in self.topology.endpoints:
+            raise TopologyError(f"unknown destination endpoint {dst}")
+        if src == dst:
+            raise TopologyError(f"endpoint {src} cannot message itself")
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative payload size {nbytes}")
+        nflits = max(1, -(-nbytes // self.flit_bytes))
+        msg = MessageRecord(
+            msg_id=self._next_msg_id,
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            flits=nflits,
+            phase=self._phase,
+            tag=tag,
+            injected_at=self.engine.now,
+        )
+        self._next_msg_id += 1
+        self.messages[msg.msg_id] = msg
+        ph = self._phases.setdefault(
+            self._phase,
+            {"cycles": 0, "flits": 0, "messages": 0, "nbytes": 0, "drains": 0},
+        )
+        ph["messages"] += 1
+        ph["flits"] += nflits
+        ph["nbytes"] += nbytes
+        self.engine.schedule(self.engine.now, ("inject", msg.msg_id))
+        return msg.msg_id
+
+    def drain(self) -> int:
+        """Run the event queue dry; return cycles the phase advanced."""
+        start = self.engine.now
+        while self.engine.pending:
+            time, seq, event = self.engine.pop()
+            kind = event[0]
+            if kind == "inject":
+                self._handle_inject(time, seq, event[1])
+            elif kind == "arrive":
+                self._handle_arrive(time, seq, event[1], event[2])
+            elif kind == "credit":
+                self._handle_credit(time, seq, event[1])
+            elif kind == "pump":
+                self._pump_pending.discard((event[1], time))
+                self.engine.record(f"{time}.{seq} pump {event[1]}")
+                self._pump(event[1], time)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+        elapsed = self.engine.now - start
+        ph = self._phases.setdefault(
+            self._phase,
+            {"cycles": 0, "flits": 0, "messages": 0, "nbytes": 0, "drains": 0},
+        )
+        ph["cycles"] += elapsed
+        ph["drains"] += 1
+        return elapsed
+
+    def trace_digest(self) -> str:
+        return self.engine.trace_digest()
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _handle_inject(self, time: int, seq: int, msg_id: int) -> None:
+        msg = self.messages[msg_id]
+        self.engine.record(
+            f"{time}.{seq} inject m{msg_id} {msg.src}>{msg.dst} "
+            f"f{msg.flits} b{msg.nbytes}"
+        )
+        flits = [
+            Flit(
+                msg_id=msg_id,
+                index=i,
+                count=msg.flits,
+                src=msg.src,
+                dst=msg.dst,
+                nbytes=self.flit_bytes,
+            )
+            for i in range(msg.flits)
+        ]
+        self._flits_injected += msg.flits
+        if self.topology.ideal:
+            for flit in flits:
+                self._deliver(flit, time, seq)
+            return
+        router = self.routers[self.topology.endpoints[msg.src]]
+        router.inject_q.extend(flits)
+        router.max_inject_depth = max(
+            router.max_inject_depth, len(router.inject_q)
+        )
+        self._pump(router.name, time)
+
+    def _handle_arrive(
+        self, time: int, seq: int, link_id: int, flit: Flit
+    ) -> None:
+        link = self._links_by_id[link_id]
+        self.engine.record(
+            f"{time}.{seq} arrive {link_id} m{flit.msg_id}.{flit.index}"
+        )
+        buf = self.routers[link.dst].in_bufs[link_id]
+        buf.append(flit)
+        stats = self._link_stats[link_id]
+        stats.max_depth = max(stats.max_depth, len(buf))
+        if len(buf) > self.buffer_flits:  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"credit protocol violated: {len(buf)} flits in "
+                f"{self.buffer_flits}-deep buffer on link {link.name}"
+            )
+        if self.record_orders:
+            self.arrive_order[link_id].append((flit.msg_id, flit.index))
+        self._pump(link.dst, time)
+
+    def _handle_credit(self, time: int, seq: int, link_id: int) -> None:
+        link = self._links_by_id[link_id]
+        self.engine.record(f"{time}.{seq} credit {link_id}")
+        router = self.routers[link.src]
+        router.credits[link_id] += 1
+        if router.credits[link_id] > self.buffer_flits:  # pragma: no cover
+            raise RuntimeError(
+                f"credit overflow on link {link.name}"
+            )
+        self._pump(link.src, time)
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def _sources(self, router: Router):
+        """Arbitration order: inject queue first, then in-links by id."""
+        yield None, router.inject_q
+        for link_id in sorted(router.in_bufs):
+            yield link_id, router.in_bufs[link_id]
+
+    def _pump(self, router_name: str, now: int) -> None:
+        """Forward every head flit that can move this cycle."""
+        router = self.routers[router_name]
+        progress = True
+        while progress:
+            progress = False
+            for from_link, queue in self._sources(router):
+                if not queue:
+                    continue
+                flit = queue[0]
+                dst_router = self.topology.endpoints[flit.dst]
+                if dst_router == router_name:
+                    queue.popleft()
+                    self._deliver(flit, now, -1)
+                    if from_link is not None:
+                        self._return_credit(from_link, now)
+                    progress = True
+                    continue
+                link = self.topology.next_link(router_name, dst_router)
+                lid = link.link_id
+                stats = self._link_stats[lid]
+                # Bubble flow control: entering a cyclic channel (ring
+                # direction) from injection or from another channel must
+                # leave a spare downstream slot, so the cycle can never
+                # completely fill and deadlock.  In-channel transit and
+                # acyclic links need only one credit.
+                need = 1
+                if link.channel:
+                    prev = (
+                        self._links_by_id[from_link]
+                        if from_link is not None
+                        else None
+                    )
+                    if prev is None or prev.channel != link.channel:
+                        need = 2
+                if (
+                    router.credits[lid] >= need
+                    and router.free_at[lid] <= now
+                ):
+                    queue.popleft()
+                    router.credits[lid] -= 1
+                    ser = link.serialization_cycles(flit.nbytes)
+                    router.free_at[lid] = now + ser
+                    stats.flits += 1
+                    stats.nbytes += flit.nbytes
+                    stats.busy_cycles += ser
+                    if self.record_orders:
+                        self.sent_order[lid].append(
+                            (flit.msg_id, flit.index)
+                        )
+                    self.engine.schedule(
+                        now + ser + link.latency, ("arrive", lid, flit)
+                    )
+                    if from_link is not None:
+                        self._return_credit(from_link, now)
+                    progress = True
+                else:
+                    stats.blocked += 1
+                    self._blocked_attempts += 1
+                    if (
+                        router.credits[lid] >= need
+                        and router.free_at[lid] > now
+                    ):
+                        self._schedule_pump(router_name, router.free_at[lid])
+                    # credit-starved heads are re-pumped by the credit
+                    # return event; nothing to schedule here
+
+    def _return_credit(self, link_id: int, now: int) -> None:
+        self.engine.schedule(
+            now + CREDIT_RETURN_CYCLES, ("credit", link_id)
+        )
+
+    def _schedule_pump(self, router_name: str, time: int) -> None:
+        key = (router_name, time)
+        if key in self._pump_pending:
+            return
+        self._pump_pending.add(key)
+        self.engine.schedule(time, ("pump", router_name))
+
+    def _deliver(self, flit: Flit, time: int, seq: int) -> None:
+        key = (flit.msg_id, flit.index)
+        if key in self._delivered_keys:
+            self._duplicates += 1
+        self._delivered_keys.add(key)
+        self._flits_delivered += 1
+        self.engine.record(
+            f"{time}.{seq} deliver m{flit.msg_id}.{flit.index}"
+        )
+        msg = self.messages[flit.msg_id]
+        msg.delivered_flits += 1
+        if msg.delivered_flits == msg.flits:
+            msg.delivered_at = time
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def flits_injected(self) -> int:
+        return self._flits_injected
+
+    @property
+    def flits_delivered(self) -> int:
+        return self._flits_delivered
+
+    @property
+    def flits_dropped(self) -> int:
+        """Injected-but-undelivered flits after a drain (must be 0)."""
+        return self._flits_injected - self._flits_delivered
+
+    @property
+    def duplicates(self) -> int:
+        return self._duplicates
+
+    @property
+    def blocked_attempts(self) -> int:
+        return self._blocked_attempts
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest any *bounded* link input buffer got (<= buffer_flits)."""
+        return max(
+            (s.max_depth for s in self._link_stats.values()), default=0
+        )
+
+    @property
+    def max_inject_depth(self) -> int:
+        """Deepest DMA source queue (unbounded by design)."""
+        return max(
+            (r.max_inject_depth for r in self.routers.values()), default=0
+        )
+
+    def link_stats_raw(self) -> Dict[str, Dict[str, int]]:
+        """Integer per-link counters keyed by link name (no ratios)."""
+        table: Dict[str, Dict[str, int]] = {}
+        for lid in sorted(self._link_stats):
+            link = self._links_by_id[lid]
+            s = self._link_stats[lid]
+            table[link.name] = {
+                "flits": s.flits,
+                "nbytes": s.nbytes,
+                "busy_cycles": s.busy_cycles,
+                "blocked": s.blocked,
+                "max_depth": s.max_depth,
+            }
+        return table
+
+    def link_utilization(self) -> Dict[str, Dict[str, object]]:
+        """Per-link flit/busy/utilization table keyed by link name."""
+        horizon = max(1, self.engine.now)
+        table: Dict[str, Dict[str, object]] = {}
+        for name, raw in self.link_stats_raw().items():
+            row: Dict[str, object] = dict(raw)
+            row["utilization"] = round(raw["busy_cycles"] / horizon, 6)
+            table[name] = row
+        return table
+
+    def phase_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            name: dict(stats) for name, stats in sorted(self._phases.items())
+        }
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology.name,
+            "kind": self.topology.kind,
+            "flit_bytes": self.flit_bytes,
+            "buffer_flits": self.buffer_flits,
+            "cycles": self.engine.now,
+            "events": self.engine.events_handled,
+            "messages": len(self.messages),
+            "flits_injected": self._flits_injected,
+            "flits_delivered": self._flits_delivered,
+            "flits_dropped": self.flits_dropped,
+            "duplicates": self._duplicates,
+            "blocked_attempts": self._blocked_attempts,
+            "max_queue_depth": self.max_queue_depth,
+            "max_inject_depth": self.max_inject_depth,
+            "phases": self.phase_stats(),
+            "links": self.link_utilization(),
+        }

@@ -245,10 +245,118 @@ def _generate_elastic():
     }
 
 
+# network-simulation golden run (ISSUE 10): same pinned scheme seed, a
+# fourth data seed, the cluster shard grid over a 4-node 2x2 mesh with
+# bandwidth-limited links.  Freezes the discrete-event schedule itself:
+# per-phase flit counts, the coordinator's network-cycle bill, and the
+# sha256 of the full event trace.  Any change to routing, arbitration
+# order, credit timing, or flit sizing lands here as a digest mismatch.
+NETSIM_DATA_SEED = 0x601D4
+NETSIM_REQUESTS = 2
+NETSIM_TOPOLOGY = "mesh"
+NETSIM_BANDWIDTH = 8
+NETSIM_LATENCY = 4
+NETSIM_FLIT_BYTES = 64
+
+
+def _build_netsim():
+    scheme = BfvScheme(
+        toy_params(n=COLS, plain_bits=40), seed=SCHEME_SEED, max_pack=COLS
+    )
+    rng = np.random.default_rng(NETSIM_DATA_SEED)
+    matrix = rng.integers(-100, 100, (CLUSTER_ROWS, CLUSTER_COLS))
+    vectors = [
+        rng.integers(-100, 100, CLUSTER_COLS)
+        for _ in range(NETSIM_REQUESTS)
+    ]
+    return scheme, matrix, vectors
+
+
+def _run_netsim():
+    scheme, matrix, vectors = _build_netsim()
+    plan = PartitionPlanner(COLS).plan_from_cuts(
+        CLUSTER_ROWS, CLUSTER_COLS, CLUSTER_ROW_CUTS, CLUSTER_COL_CUTS
+    )
+    executor = ClusterExecutor(
+        scheme,
+        matrix,
+        config=ClusterConfig(
+            nodes=4,
+            replication=2,
+            seed=0,
+            topology=NETSIM_TOPOLOGY,
+            link_bandwidth=NETSIM_BANDWIDTH,
+            link_latency=NETSIM_LATENCY,
+            flit_bytes=NETSIM_FLIT_BYTES,
+        ),
+        plan=plan,
+    )
+    cts = [executor.encrypt_vector(v) for v in vectors]
+    results = executor.execute_batch(cts)
+    report = executor.report()
+    net = report.network
+    return {
+        "result_ct_digests": [
+            _limb_digests(r.packs[0].ct) for r in results
+        ],
+        "network_cycles": report.network_cycles,
+        "compute_makespan_cycles": report.compute_makespan_cycles,
+        "trace_sha256": net["trace_sha256"],
+        "flits_injected": net["flits_injected"],
+        "flits_delivered": net["flits_delivered"],
+        "flits_dropped": net["flits_dropped"],
+        "blocked_attempts": net["blocked_attempts"],
+        "max_queue_depth": net["max_queue_depth"],
+        "phases": {
+            name: {
+                "cycles": row["cycles"],
+                "flits": row["flits"],
+                "messages": row["messages"],
+                "nbytes": row["nbytes"],
+            }
+            for name, row in net["phases"].items()
+        },
+    }
+
+
+def _generate_netsim():
+    _scheme, matrix, vectors = _build_netsim()
+    return {
+        "description": (
+            "Pinned-seed network-simulation golden run: same scheme "
+            "seed, data seed 0x601D4, the cluster shard grid over a "
+            "4-node 2x2 mesh (8 B/cycle links, latency 4, 64-byte "
+            "flits).  Freezes per-phase flit counts, the network-cycle "
+            "bill, and the sha256 of the full event trace."
+        ),
+        "params": {
+            "n": COLS,
+            "plain_bits": 40,
+            "scheme_seed": SCHEME_SEED,
+            "data_seed": NETSIM_DATA_SEED,
+            "rows": CLUSTER_ROWS,
+            "cols": CLUSTER_COLS,
+            "row_cuts": list(CLUSTER_ROW_CUTS),
+            "col_cuts": list(CLUSTER_COL_CUTS),
+            "nodes": 4,
+            "replication": 2,
+            "requests": NETSIM_REQUESTS,
+            "topology": NETSIM_TOPOLOGY,
+            "bandwidth": NETSIM_BANDWIDTH,
+            "latency": NETSIM_LATENCY,
+            "flit_bytes": NETSIM_FLIT_BYTES,
+        },
+        "matrix": matrix.tolist(),
+        "vectors": [v.tolist() for v in vectors],
+        "run": _run_netsim(),
+    }
+
+
 def _generate_all():
     payload = _generate()
     payload["cluster"] = _generate_cluster()
     payload["elastic"] = _generate_elastic()
+    payload["netsim"] = _generate_netsim()
     return payload
 
 
@@ -380,6 +488,63 @@ def test_elastic_golden_digest_shape():
             assert len(per_request) == 2 * 2  # (c0, c1) x (q0, q1)
             for entry in per_request:
                 assert len(entry["sha256"]) == 64
+
+
+def test_netsim_golden_inputs_regenerate_identically():
+    _scheme, matrix, vectors = _build_netsim()
+    golden = _load()["netsim"]
+    assert golden["params"]["scheme_seed"] == SCHEME_SEED
+    assert golden["params"]["data_seed"] == NETSIM_DATA_SEED
+    assert matrix.tolist() == golden["matrix"]
+    assert [v.tolist() for v in vectors] == golden["vectors"]
+
+
+def test_netsim_golden_replay_matches_trace_and_flits():
+    """The event simulation replays cycle-for-cycle from the pinned
+    seeds: per-phase flit counts, the network-cycle bill, and the full
+    event-trace sha256.  Ciphertext digest drift means the crypto moved;
+    trace drift with stable ciphertexts means the *network model* moved
+    (routing, arbitration, credit timing, flit sizing) — either demands
+    an intentional --regen."""
+    golden = _load()["netsim"]["run"]
+    fresh = _run_netsim()
+    assert fresh["result_ct_digests"] == golden["result_ct_digests"]
+    assert fresh["trace_sha256"] == golden["trace_sha256"]
+    assert fresh == golden
+
+
+def test_netsim_golden_conservation_and_contention():
+    """The frozen run itself is evidence: a contended mesh (blocked
+    head-flit attempts, full buffers) that still drops and duplicates
+    nothing."""
+    run = _load()["netsim"]["run"]
+    assert run["flits_dropped"] == 0
+    assert run["flits_injected"] == run["flits_delivered"] > 0
+    assert run["blocked_attempts"] > 0
+    assert run["network_cycles"] > 0
+    assert len(run["trace_sha256"]) == 64
+    flits_by_phase = sum(p["flits"] for p in run["phases"].values())
+    assert flits_by_phase == run["flits_injected"]
+
+
+def test_netsim_golden_bits_match_free_comm():
+    """The pinned mesh run's per-limb digests equal a free-comm replay's
+    — the golden file cannot encode a fabric that changed the bits."""
+    golden = _load()["netsim"]["run"]
+    scheme, matrix, vectors = _build_netsim()
+    plan = PartitionPlanner(COLS).plan_from_cuts(
+        CLUSTER_ROWS, CLUSTER_COLS, CLUSTER_ROW_CUTS, CLUSTER_COL_CUTS
+    )
+    executor = ClusterExecutor(
+        scheme,
+        matrix,
+        config=ClusterConfig(nodes=4, replication=2, seed=0),
+        plan=plan,
+    )
+    cts = [executor.encrypt_vector(v) for v in vectors]
+    results = executor.execute_batch(cts)
+    digests = [_limb_digests(r.packs[0].ct) for r in results]
+    assert digests == golden["result_ct_digests"]
 
 
 if __name__ == "__main__":

@@ -188,6 +188,13 @@ def test_shipped_floors_match_bench_metrics():
             "migrated_entries", "reencodes", "reencodes_avoided",
             "replica_promotions", "dropped_total",
         },
+        "topology": {
+            "goodput_sim_rps_ideal", "goodput_sim_rps_ring",
+            "goodput_sim_rps_mesh", "goodput_sim_rps_fat_tree",
+            "network_cycles_ring", "network_cycles_mesh",
+            "network_cycles_fat_tree", "ratio_ideal_vs_ring",
+            "ratio_ideal_vs_mesh", "flits_dropped_total",
+        },
     }
     assert floors["checks"], "shipped floors pin no checks"
     for check in floors["checks"]:

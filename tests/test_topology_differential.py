@@ -1,0 +1,216 @@
+"""Differential topology tests (ISSUE 10): the fabric never touches bits.
+
+The interconnect model charges *cycles* for ciphertext movement — it
+must never change *what* moves.  These tests run the same pre-encrypted
+requests through clusters wired over every topology (``None``, ideal,
+ring, mesh, fat-tree) and assert the gathered RLWE ciphertexts are
+bit-identical per RNS limb, while the bandwidth-limited fabrics charge
+real network cycles for the privilege.
+
+The encryption happens **once** per shape: the scheme RNG advances on
+every ``encrypt_vector`` call, so serving the same ciphertexts to each
+executor is what makes "identical digests" a statement about the
+network layer rather than about encryption randomness.
+
+Covers the static path, scripted node-hang failover (rerouted shards
+ship extra scatter traffic but the same bits), and an elastic
+join/kill/leave schedule (migration traffic crosses the fabric, output
+unchanged).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterExecutor,
+    CommSpec,
+    MembershipSchedule,
+    PartitionPlanner,
+)
+from repro.core.batch import BatchedHmvp
+from repro.core.hmvp import TiledHmvp
+from repro.hw.runtime import FaultInjector
+
+TOPOLOGIES = (None, "ideal", "ring", "mesh", "fat-tree")
+#: bandwidth-starved knobs so real fabrics must charge nonzero cycles
+NET = dict(link_bandwidth=8, link_latency=4, flit_bytes=64)
+
+#: (rows, cols) at ring degree 128 — same intent as the cluster
+#: differential shapes: row-only, multi-tile, mixed, beyond-ring
+SHAPES = [
+    (3, 1),
+    (8, 256),
+    (13, 384),
+    (160, 128),
+]
+
+
+def _reference(scheme, matrix, ct_tiles):
+    if matrix.shape[0] <= scheme.params.n:
+        return BatchedHmvp(scheme, matrix).multiply_tiles(ct_tiles)
+    return TiledHmvp(scheme).multiply(matrix, ct_tiles)
+
+
+def _limb_digests(result):
+    digests = []
+    for pack in result.packs:
+        for component in (pack.ct.c0, pack.ct.c1):
+            arr = np.asarray(component)
+            for limb in range(arr.shape[0]):
+                digests.append(
+                    hashlib.sha256(
+                        np.ascontiguousarray(arr[limb]).tobytes()
+                    ).hexdigest()
+                )
+    return digests
+
+
+def _executor(scheme, matrix, topology, **kwargs):
+    net = dict(NET) if topology else {}
+    return ClusterExecutor(
+        scheme,
+        matrix,
+        config=ClusterConfig(
+            nodes=kwargs.pop("nodes", 4),
+            replication=kwargs.pop("replication", 2),
+            seed=kwargs.pop("seed", 9),
+            topology=topology,
+            **net,
+        ),
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("rows,cols", SHAPES)
+def test_all_topologies_bit_identical(scheme128, rows, cols):
+    """Per RNS limb, every fabric gathers the unsharded engine's bits."""
+    rng = np.random.default_rng(0x7090 + rows * 31 + cols)
+    matrix = rng.integers(-100, 100, (rows, cols))
+    vector = rng.integers(-100, 100, cols)
+    seeder = _executor(scheme128, matrix, None)
+    ct_tiles = seeder.encrypt_vector(vector)
+    want = _limb_digests(_reference(scheme128, matrix, ct_tiles))
+    for topology in TOPOLOGIES:
+        executor = _executor(scheme128, matrix, topology)
+        got = _limb_digests(executor.execute(ct_tiles))
+        assert got == want, f"{topology} diverged from the unsharded bits"
+        report = executor.report()
+        assert report.dropped == 0
+        if topology in ("ring", "mesh", "fat-tree"):
+            assert report.network_cycles > 0, (
+                f"{topology} charged nothing for scatter/gather"
+            )
+            assert report.network["flits_dropped"] == 0
+            assert report.network["duplicates"] == 0
+        else:
+            assert report.network_cycles == 0
+
+
+def test_failover_bit_identical_across_fabrics(scheme128):
+    """Scripted hangs reroute shards to replicas on every fabric; the
+    rerouted traffic (failover phase) costs cycles, never bits."""
+    rng = np.random.default_rng(0x7091)
+    matrix = rng.integers(-100, 100, (24, 256))
+    vector = rng.integers(-100, 100, 256)
+    seeder = _executor(scheme128, matrix, None, nodes=3)
+    ct_tiles = seeder.encrypt_vector(vector)
+    want = _limb_digests(_reference(scheme128, matrix, ct_tiles))
+    for topology in TOPOLOGIES:
+        injectors = [
+            FaultInjector(hang_script=[True, True], seed=11),
+            FaultInjector(seed=12),
+            FaultInjector(seed=13),
+        ]
+        executor = _executor(
+            scheme128, matrix, topology, nodes=3,
+            fault_injectors=injectors,
+        )
+        got = _limb_digests(executor.execute(ct_tiles))
+        assert got == want, f"{topology} failover changed the output"
+        report = executor.report()
+        assert report.shard_retries >= 1
+        assert report.dropped == 0
+        assert report.degraded_shards == 0
+        if topology in ("ring", "mesh", "fat-tree"):
+            phases = report.network["phase_cycles"]
+            assert phases["failover"] > 0, (
+                f"{topology} rerouted shards without reshipping tiles"
+            )
+
+
+def test_elastic_schedule_bit_identical_across_fabrics(scheme128):
+    """Join/kill/leave churn migrates encoded-matrix cache entries over
+    the fabric (replica_sync traffic, new topology epochs) — and the
+    per-request digests still match the free-comm run exactly."""
+    rng = np.random.default_rng(0x7092)
+    matrix = rng.integers(-80, 80, (13, 384))
+    vectors = [rng.integers(-80, 80, 384) for _ in range(4)]
+    plan = PartitionPlanner(scheme128.params.n).plan_from_cuts(
+        13, 384, (0, 7, 13), (0, 128, 256, 384)
+    )
+    seeder = _executor(scheme128, matrix, None, nodes=3, plan=plan)
+    requests = [seeder.encrypt_vector(v) for v in vectors]
+
+    def run(topology):
+        executor = _executor(
+            scheme128, matrix, topology, nodes=3, plan=plan,
+            schedule=MembershipSchedule.parse("1:join,2:kill:0,3:leave:1"),
+        )
+        results = executor.execute_batch(requests)
+        return [_limb_digests(r) for r in results], executor.report()
+
+    want, free_report = run(None)
+    for topology in ("ideal", "ring", "mesh", "fat-tree"):
+        got, report = run(topology)
+        assert got == want, f"{topology} churn changed the output"
+        assert report.membership == free_report.membership
+        net = report.network
+        assert net["epochs"] >= 4  # initial wiring + one per applied event
+        assert net["flits_dropped"] == 0
+        if topology != "ideal":
+            assert net["phase_cycles"]["replica_sync"] > 0, (
+                f"{topology} migrated cache entries for free"
+            )
+
+
+def test_planner_prices_communication(scheme128):
+    """Regression: scoring on compute makespan alone ties a wide-row
+    grid with a tall one; a bandwidth-limited ring breaks the tie the
+    other way, because every extra row band re-ships its column tiles.
+    ``comm_free=True`` is the escape hatch back to the old behavior."""
+    ring_n = scheme128.params.n
+    # a fat modulus chain on byte-per-cycle links: scatter traffic is
+    # now on the same order as compute, so the grid choice must weigh it
+    comm = CommSpec(kind="ring", bandwidth=1, latency=8, ct_limbs=6)
+    priced = PartitionPlanner(ring_n, comm=comm)
+    free = PartitionPlanner(ring_n)
+
+    rows, cols, nodes = 13, 256, 3
+    free_plan = free.plan(rows, cols, nodes=nodes)
+    priced_plan = priced.plan(rows, cols, nodes=nodes)
+    escape_plan = priced.plan(rows, cols, nodes=nodes, comm_free=True)
+
+    # the escape hatch recovers the historical search exactly
+    assert escape_plan.to_dict() == free_plan.to_dict()
+
+    # the comm-free winner really does lose once scatter traffic is
+    # priced: strictly more network cycles than the comm-aware winner
+    assert priced.estimate_comm_cycles(priced_plan, nodes) < \
+        priced.estimate_comm_cycles(free_plan, nodes)
+    assert priced.estimate_total_cycles(priced_plan, nodes) <= \
+        priced.estimate_total_cycles(free_plan, nodes)
+    # and the comm term is what moved the decision: the finely
+    # row-split grid that wins on compute balance re-ships its column
+    # tiles to every node, so the priced search keeps fewer row bands
+    assert priced_plan.to_dict() != free_plan.to_dict()
+    assert priced_plan.row_bands < free_plan.row_bands
+    assert priced.estimate_makespan(free_plan, nodes) < \
+        priced.estimate_makespan(priced_plan, nodes)
+
+    # pricing an *ideal* fabric never changes a planning decision
+    ideal = PartitionPlanner(ring_n, comm=CommSpec(kind="ideal"))
+    assert ideal.plan(rows, cols, nodes=nodes).to_dict() == \
+        free_plan.to_dict()
